@@ -1,0 +1,46 @@
+# Reproduction of "A Systematic Mapping Study of Italian Research on
+# Workflows" (SC-W 2023). Standard-library Go only; everything runs offline.
+
+GO ?= go
+
+.PHONY: all build vet test race bench artifacts examples outputs clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper artifact (tables 1-2, figures 1-4, full report)
+# in every supported format under artifacts/.
+artifacts:
+	$(GO) run ./cmd/smsreport -out artifacts/
+	$(GO) run ./cmd/smsreport -table 2 -format svg > artifacts/table2.svg
+
+# Run every example end to end.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/compression
+	$(GO) run ./examples/serverledge
+	$(GO) run ./examples/galaxyio
+	$(GO) run ./examples/divexplorer
+	$(GO) run ./examples/worlddynamics
+
+# The final experiment record (see the reproduction protocol).
+outputs:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf artifacts/ test_output.txt bench_output.txt

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFaaSScenario(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scenario", "faas", "-rate", "10", "-horizon", "20"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"edge-first", "cloud-only", "energy-aware", "p50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestEnergyScenario(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scenario", "energy", "-vms", "6"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "consolidating") || !strings.Contains(out, "spreading") {
+		t.Errorf("energy output:\n%s", out)
+	}
+}
+
+func TestIOScenario(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scenario", "io", "-chunks", "50"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "staged") || !strings.Contains(out, "overlap speedup") {
+		t.Errorf("io output:\n%s", out)
+	}
+}
+
+func TestUnknownScenario(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scenario", "quantum"}, &sb); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestFaultsScenario(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scenario", "faults"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "p(fail)") || !strings.Contains(out, "0.5") {
+		t.Errorf("faults output:\n%s", out)
+	}
+}

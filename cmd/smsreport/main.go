@@ -1,0 +1,212 @@
+// Command smsreport regenerates the tables and figures of "A Systematic
+// Mapping Study of Italian Research on Workflows" (SC-W 2023) from the
+// embedded study dataset.
+//
+// Usage:
+//
+//	smsreport                         # full report to stdout
+//	smsreport -table 1 -format md    # one table as markdown
+//	smsreport -fig 2 -format svg     # one figure as SVG
+//	smsreport -out artifacts/         # write every artifact in every format
+//	smsreport -catalog file.json      # run over an alternative catalog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "smsreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("smsreport", flag.ContinueOnError)
+	var (
+		tableN      = fs.Int("table", 0, "render only table N (1 or 2)")
+		figN        = fs.Int("fig", 0, "render only figure N (1-4)")
+		format      = fs.String("format", "text", "output format: text, md, csv, svg")
+		outDir      = fs.String("out", "", "write all artifacts into this directory")
+		catalogPath = fs.String("catalog", "", "load catalog from JSON file instead of the embedded dataset")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cat := catalog.Default()
+	if *catalogPath != "" {
+		f, err := os.Open(*catalogPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cat, err = catalog.ReadJSON(f)
+		if err != nil {
+			return err
+		}
+	}
+	study, err := core.NewStudy(cat)
+	if err != nil {
+		return err
+	}
+
+	if *outDir != "" {
+		return writeAll(study, *outDir)
+	}
+	if *tableN != 0 {
+		out, err := renderTable(study, *tableN, *format)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, out)
+		return nil
+	}
+	if *figN != 0 {
+		out, err := renderFig(study, *figN, *format)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, out)
+		return nil
+	}
+	full, err := report.Full(study)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, full)
+	return nil
+}
+
+func renderTable(s *core.Study, n int, format string) (string, error) {
+	var tb = report.Table1(s)
+	switch n {
+	case 1:
+	case 2:
+		tb = report.Table2(s)
+	default:
+		return "", fmt.Errorf("unknown table %d (the paper has tables 1 and 2)", n)
+	}
+	switch format {
+	case "text":
+		return tb.ASCII()
+	case "md":
+		return tb.Markdown()
+	case "csv":
+		return tb.CSV()
+	case "svg":
+		if n != 2 {
+			return "", fmt.Errorf("only table 2 has an SVG (matrix) rendering")
+		}
+		return report.Table2Matrix(s).SVG()
+	default:
+		return "", fmt.Errorf("tables support formats text, md, csv (table 2 also svg); got %q", format)
+	}
+}
+
+func renderFig(s *core.Study, n int, format string) (string, error) {
+	switch n {
+	case 1:
+		if format != "text" {
+			return "", fmt.Errorf("figure 1 is structural; only text format is supported")
+		}
+		return report.Fig1(s), nil
+	case 2, 4:
+		pie := report.Fig2(s)
+		if n == 4 {
+			var err error
+			pie, err = report.Fig4(s)
+			if err != nil {
+				return "", err
+			}
+		}
+		switch format {
+		case "text":
+			return pie.ASCII(40)
+		case "svg":
+			return pie.SVG(320)
+		case "csv":
+			return pie.CSV()
+		}
+		return "", fmt.Errorf("pie figures support formats text, svg, csv; got %q", format)
+	case 3, 5:
+		bar := report.Fig3(s)
+		if n == 5 { // extension figure E1: tools per publication year
+			bar = report.FigE1(s)
+		}
+		switch format {
+		case "text":
+			return bar.ASCII()
+		case "svg":
+			return bar.SVG(480, 320)
+		case "csv":
+			return bar.CSV()
+		}
+		return "", fmt.Errorf("bar figures support formats text, svg, csv; got %q", format)
+	default:
+		return "", fmt.Errorf("unknown figure %d (the paper has figures 1-4; 5 = extension E1)", n)
+	}
+}
+
+// writeAll materializes every artifact in every applicable format under dir.
+func writeAll(s *core.Study, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	type artifact struct {
+		name   string
+		render func() (string, error)
+	}
+	var artifacts []artifact
+	for _, spec := range []struct {
+		n       int
+		formats []string
+		ext     map[string]string
+	}{
+		{1, []string{"text", "md", "csv"}, map[string]string{"text": "txt", "md": "md", "csv": "csv"}},
+		{2, []string{"text", "md", "csv"}, map[string]string{"text": "txt", "md": "md", "csv": "csv"}},
+	} {
+		spec := spec
+		for _, f := range spec.formats {
+			f := f
+			artifacts = append(artifacts, artifact{
+				name:   fmt.Sprintf("table%d.%s", spec.n, spec.ext[f]),
+				render: func() (string, error) { return renderTable(s, spec.n, f) },
+			})
+		}
+	}
+	artifacts = append(artifacts, artifact{"fig1.txt", func() (string, error) { return renderFig(s, 1, "text") }})
+	for _, n := range []int{2, 3, 4, 5} {
+		n := n
+		for _, f := range []string{"text", "svg", "csv"} {
+			f := f
+			ext := map[string]string{"text": "txt", "svg": "svg", "csv": "csv"}[f]
+			artifacts = append(artifacts, artifact{
+				name:   fmt.Sprintf("fig%d.%s", n, ext),
+				render: func() (string, error) { return renderFig(s, n, f) },
+			})
+		}
+	}
+	artifacts = append(artifacts, artifact{"report.txt", func() (string, error) { return report.Full(s) }})
+
+	for _, a := range artifacts {
+		out, err := a.render()
+		if err != nil {
+			return fmt.Errorf("rendering %s: %w", a.name, err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, a.name), []byte(out), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d artifacts to %s\n", len(artifacts), dir)
+	return nil
+}

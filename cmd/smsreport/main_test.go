@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+func runCapture(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return sb.String()
+}
+
+func TestFullReportOutput(t *testing.T) {
+	out := runCapture(t)
+	for _, want := range []string{"Table 1", "Table 2", "Figure 2", "Q3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestSingleArtifacts(t *testing.T) {
+	if out := runCapture(t, "-table", "1"); !strings.Contains(out, "StreamFlow") {
+		t.Error("table 1 missing tool names")
+	}
+	if out := runCapture(t, "-table", "2", "-format", "csv"); !strings.Contains(out, "✓") {
+		t.Error("table 2 csv missing checkmarks")
+	}
+	if out := runCapture(t, "-fig", "2", "-format", "csv"); !strings.Contains(out, "Orchestration,7") {
+		t.Error("fig 2 csv wrong")
+	}
+	if out := runCapture(t, "-fig", "3", "-format", "svg"); !strings.HasPrefix(out, "<svg") {
+		t.Error("fig 3 svg wrong")
+	}
+	if out := runCapture(t, "-fig", "1"); !strings.Contains(out, "FL3") {
+		t.Error("fig 1 missing flagships")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-table", "9"}, &sb); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if err := run([]string{"-fig", "9"}, &sb); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-fig", "2", "-format", "pdf"}, &sb); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run([]string{"-fig", "1", "-format", "svg"}, &sb); err == nil {
+		t.Error("fig 1 svg accepted")
+	}
+	if err := run([]string{"-catalog", "/nonexistent.json"}, &sb); err == nil {
+		t.Error("missing catalog file accepted")
+	}
+}
+
+func TestWriteAllArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-out", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	wantFiles := []string{"table1.txt", "table2.md", "fig2.svg", "fig3.csv", "fig4.txt", "report.txt"}
+	for _, f := range wantFiles {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("artifact %s missing: %v", f, err)
+		}
+	}
+}
+
+func TestCustomCatalog(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cat.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := catalog.Default()
+	c.Title = "custom ecosystem"
+	if err := c.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+	out := runCapture(t, "-catalog", path)
+	if !strings.Contains(out, "custom ecosystem") {
+		t.Error("custom catalog not used")
+	}
+}
+
+func TestTable2SVG(t *testing.T) {
+	out := runCapture(t, "-table", "2", "-format", "svg")
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "circle") {
+		t.Error("table 2 svg rendering wrong")
+	}
+	var sb strings.Builder
+	if err := run([]string{"-table", "1", "-format", "svg"}, &sb); err == nil {
+		t.Error("table 1 svg should be rejected")
+	}
+}
+
+func TestExtensionFigure(t *testing.T) {
+	out := runCapture(t, "-fig", "5")
+	if !strings.Contains(out, "publication year") {
+		t.Errorf("extension figure output:\n%s", out)
+	}
+	if out := runCapture(t, "-fig", "5", "-format", "csv"); !strings.Contains(out, "2021") {
+		t.Error("extension csv missing years")
+	}
+}

@@ -1,0 +1,141 @@
+// Command wfrun compiles a TOSCA-style blueprint (JSON) into a workflow,
+// places it on a simulated Computing Continuum with a chosen orchestration
+// policy, and reports the schedule: per-step placement and timing, makespan,
+// energy, cost, and data movement.
+//
+// Usage:
+//
+//	wfrun -blueprint app.json                 # policy from the blueprint
+//	wfrun -blueprint app.json -policy heft    # override policy
+//	wfrun -blueprint app.json -compare        # run every built-in policy
+//	wfrun -demo                               # built-in demo blueprint
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/continuum"
+	"repro/internal/orchestrator"
+	"repro/internal/workflow"
+)
+
+const demoBlueprint = `{
+  "name": "hybrid-analytics",
+  "version": "1.0",
+  "components": [
+    {"name": "ingest", "type": "function", "gflop": 20, "output_mb": 400, "tier": "edge"},
+    {"name": "clean", "type": "job", "gflop": 300, "cores": 4, "output_mb": 200, "depends_on": ["ingest"]},
+    {"name": "train", "type": "job", "gflop": 8000, "cores": 32, "tier": "hpc", "output_mb": 50, "depends_on": ["clean"]},
+    {"name": "validate", "type": "job", "gflop": 500, "cores": 8, "output_mb": 10, "depends_on": ["train"]},
+    {"name": "serve", "type": "container", "gflop": 10, "tier": "cloud", "output_mb": 1, "depends_on": ["validate"]}
+  ],
+  "policies": {"placement": "heft"}
+}`
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wfrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("wfrun", flag.ContinueOnError)
+	var (
+		bpPath  = fs.String("blueprint", "", "path to a blueprint JSON file")
+		policy  = fs.String("policy", "", "override placement policy (random, round-robin, data-local, cost-aware, energy-aware, heft)")
+		compare = fs.Bool("compare", false, "simulate every built-in policy and rank by makespan")
+		demo    = fs.Bool("demo", false, "use the built-in demo blueprint")
+		seed    = fs.Int64("seed", 1, "seed for the random policy")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var src io.Reader
+	switch {
+	case *demo:
+		src = strings.NewReader(demoBlueprint)
+	case *bpPath != "":
+		f, err := os.Open(*bpPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	default:
+		return fmt.Errorf("need -blueprint FILE or -demo")
+	}
+
+	bp, err := orchestrator.ParseBlueprint(src)
+	if err != nil {
+		return err
+	}
+	if *policy != "" {
+		bp.Policies.Placement = *policy
+	}
+
+	if *compare {
+		schedules, err := orchestrator.Compare(
+			func() *workflow.Workflow {
+				wf, cerr := bp.Compile()
+				if cerr != nil {
+					panic(cerr) // validated above
+				}
+				return wf
+			},
+			continuum.Testbed,
+			orchestrator.Policies(rand.New(rand.NewSource(*seed))),
+		)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "Blueprint %s: policy comparison (best makespan first)\n", bp.Name)
+		fmt.Fprintf(out, "%-14s %10s %12s %10s %12s %6s\n", "policy", "makespan", "energy", "cost", "moved", "nodes")
+		for _, s := range schedules {
+			fmt.Fprintf(out, "%-14s %9.2fs %11.0fJ %9.4f€ %11.0fB %6d\n",
+				s.Policy, s.Makespan, s.TotalEnergyJ(), s.CostEUR, s.BytesMoved, s.NodesUsed)
+		}
+		return nil
+	}
+
+	wf, err := bp.Compile()
+	if err != nil {
+		return err
+	}
+	pol, err := bp.Policy()
+	if err != nil {
+		return err
+	}
+	inf := continuum.Testbed()
+	placement, err := pol.Place(wf, inf)
+	if err != nil {
+		return err
+	}
+	sched, err := orchestrator.Simulate(wf, inf, placement, pol.Name())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Blueprint %s on policy %s\n\n", bp.Name, pol.Name())
+	fmt.Fprintf(out, "%-12s %-10s %10s %10s %10s %10s\n", "step", "node", "ready", "start", "finish", "wait")
+	ids := make([]string, 0, len(sched.Steps))
+	for id := range sched.Steps {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return sched.Steps[ids[i]].Start < sched.Steps[ids[j]].Start })
+	for _, id := range ids {
+		tr := sched.Steps[id]
+		fmt.Fprintf(out, "%-12s %-10s %9.2fs %9.2fs %9.2fs %9.2fs\n",
+			id, tr.NodeID, tr.Ready, tr.Start, tr.Finish, tr.WaitS)
+	}
+	fmt.Fprintf(out, "\nmakespan %.2fs | energy %.0fJ (dynamic %.0f + idle %.0f) | cost %.4f€ | moved %.0fB | nodes %d\n",
+		sched.Makespan, sched.TotalEnergyJ(), sched.DynamicEnergyJ, sched.IdleEnergyJ,
+		sched.CostEUR, sched.BytesMoved, sched.NodesUsed)
+	return nil
+}

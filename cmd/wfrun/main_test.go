@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDemoRun(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-demo"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"hybrid-analytics", "heft", "makespan", "train"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestDemoCompare(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-demo", "-compare"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, pol := range []string{"random", "round-robin", "data-local", "cost-aware", "energy-aware", "heft"} {
+		if !strings.Contains(out, pol) {
+			t.Errorf("comparison missing policy %q", pol)
+		}
+	}
+}
+
+func TestPolicyOverride(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-demo", "-policy", "round-robin"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "round-robin") {
+		t.Error("policy override ignored")
+	}
+	if err := run([]string{"-demo", "-policy", "psychic"}, &sb); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestBlueprintFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bp.json")
+	js := `{"name":"file-app","components":[{"name":"only","type":"job","gflop":10}]}`
+	if err := os.WriteFile(path, []byte(js), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-blueprint", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "file-app") {
+		t.Error("blueprint file not used")
+	}
+}
+
+func TestMissingInput(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Error("no input accepted")
+	}
+	if err := run([]string{"-blueprint", "/nope.json"}, &sb); err == nil {
+		t.Error("missing file accepted")
+	}
+}

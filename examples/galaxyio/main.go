@@ -1,0 +1,107 @@
+// Galaxyio reproduces application 3.6: a FLASH+SYGMA-style coupled
+// workflow where a simulation code and a post-processing code run
+// concurrently, periodically exchanging outputs. CAPIO-style transparent
+// streaming overlaps the two codes; the example measures the benefit both
+// analytically (coupling model) and operationally (real goroutines coupled
+// through the virtual file store).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/internal/capio"
+	"repro/internal/workflow"
+)
+
+func main() {
+	// Analytic comparison over a sweep of checkpoint counts.
+	fmt.Println("FLASH+SYGMA coupling: staged vs CAPIO-streamed (produce 0.8s, transfer 0.3s, consume 0.6s per checkpoint)")
+	fmt.Printf("%-12s %10s %10s %9s\n", "checkpoints", "staged", "streamed", "speedup")
+	for _, n := range []int{10, 50, 200, 1000} {
+		m := capio.CouplingModel{Chunks: n, ProduceS: 0.8, TransferS: 0.3, ConsumeS: 0.6}
+		staged, err := m.StagedMakespan()
+		if err != nil {
+			log.Fatal(err)
+		}
+		streamed, err := m.StreamedMakespan()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12d %9.1fs %9.1fs %8.2fx\n", n, staged, streamed, staged/streamed)
+	}
+
+	// Operational coupling: FLASH (producer) writes checkpoints into the
+	// CAPIO store while SYGMA (consumer) computes stellar yields from each
+	// checkpoint as soon as it is committed — no code in either "side"
+	// knows about the other beyond the file path.
+	store := capio.NewStore()
+	w, err := store.Create("run42/checkpoints.dat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := store.Open("run42/checkpoints.dat")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const checkpoints = 64
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // FLASH: hydro steps producing checkpoints
+		defer wg.Done()
+		state := 1.0
+		for i := 0; i < checkpoints; i++ {
+			for s := 0; s < 1000; s++ { // simulate a hydro step
+				state = state*1.0000001 + 0.000001
+			}
+			chunk := fmt.Sprintf("ckpt %03d density=%.8f\n", i, state)
+			if _, err := w.Write([]byte(chunk)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		_ = w.Close()
+	}()
+	var yields int
+	go func() { // SYGMA: consumes checkpoints as they commit
+		defer wg.Done()
+		for {
+			chunk, err := r.NextChunk()
+			if err != nil {
+				return // io.EOF after producer close
+			}
+			_ = chunk
+			yields++
+		}
+	}()
+	wg.Wait()
+	fmt.Printf("\noperational run: %d checkpoints streamed FLASH → SYGMA, %d yield computations, zero staging barrier ✓\n",
+		checkpoints, yields)
+
+	// The same coupling expressed as a workflow DAG (what StreamFlow would
+	// orchestrate): per-checkpoint steps make the overlap explicit.
+	wf := workflow.New("flash-sygma")
+	wf.MustAdd(workflow.Step{ID: "flash-000", WorkGFlop: 10, OutputBytes: 1e8})
+	for i := 1; i < 4; i++ {
+		wf.MustAdd(workflow.Step{
+			ID:          fmt.Sprintf("flash-%03d", i),
+			After:       []string{fmt.Sprintf("flash-%03d", i-1)},
+			WorkGFlop:   10,
+			OutputBytes: 1e8,
+		})
+	}
+	for i := 0; i < 4; i++ {
+		wf.MustAdd(workflow.Step{
+			ID:        fmt.Sprintf("sygma-%03d", i),
+			After:     []string{fmt.Sprintf("flash-%03d", i)},
+			WorkGFlop: 6,
+		})
+	}
+	mp, err := wf.MaxParallelism()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workflow view: %d steps, max parallelism %d (SYGMA ticks overlap later FLASH ticks)\n",
+		wf.Len(), mp)
+}

@@ -1,0 +1,69 @@
+// Quickstart: load the embedded ICSC study, regenerate the paper's headline
+// figures, and print the answers to the three research questions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	study, err := repro.NewStudy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(study.Catalog) // 25 tools, 10 applications, 9 institutions
+
+	// Figure 2: tool distribution over the five research directions.
+	fig2, err := repro.Fig2(study).ASCII(40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(fig2)
+
+	// Figure 4: integration votes — the demand side.
+	fig4, err := repro.Fig4(study)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := fig4.ASCII(40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(out)
+
+	// The three research questions, answered from the data.
+	answers, err := study.Answers()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range answers {
+		fmt.Printf("\n%s. %s\n   %s\n", a.Question.ID, a.Question.Text, a.Summary)
+	}
+
+	// Supply vs demand per direction (positive = under-supplied).
+	gap, err := study.CrossDirectionGap()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nDemand-supply gap per direction (votes share − tools share):")
+	for _, d := range repro.Directions() {
+		fmt.Printf("  %-24s %+.1f%%\n", d, gap[d]*100)
+	}
+
+	// Validity extension: how stable is the Q3 winner under resampling?
+	boot, err := study.BootstrapQ3(2000, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flips, err := study.LeaveOneOutQ3()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nRobustness: orchestration tops %.1f%% of 2000 bootstrap resamples; "+
+		"leave-one-out flips: %d\n", boot.Stability*100, len(flips))
+}

@@ -1,0 +1,78 @@
+package bigdata
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkPipeline measures the ParSoDA filter→map→group pipeline.
+func BenchmarkPipeline(b *testing.B) {
+	xs := make([]int, 50000)
+	for i := range xs {
+		xs[i] = i
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			p := NewPipeline[int, int](workers).
+				Filter(func(x int) bool { return x%3 != 0 }).
+				Map(func(x int) (int, error) { return x * x, nil }).
+				GroupBy(func(m int) string { return fmt.Sprint(m % 16) })
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Run(context.Background(), xs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKMeans measures clustering on 5k points.
+func BenchmarkKMeans(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]Point, 5000)
+	for i := range pts {
+		pts[i] = Point{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMeans(pts, 8, 30, rand.New(rand.NewSource(2))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFindHotspots measures CHD-style multi-density detection.
+func BenchmarkFindHotspots(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]Point, 20000)
+	for i := range pts {
+		pts[i] = Point{rng.Float64() * 1000, rng.Float64() * 1000}
+	}
+	cfg := HotspotConfig{CellSize: 10, RegionCells: 10, ThresholdFactor: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FindHotspots(pts, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBlockSizeEstimate measures BLEST-ML training + inference.
+func BenchmarkBlockSizeEstimate(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	train := genTraining(rng, 400)
+	var m BlockSizeModel
+	if err := m.Fit(train, 1e-6); err != nil {
+		b.Fatal(err)
+	}
+	job := genTraining(rng, 1)[0].Features
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Estimate(job); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

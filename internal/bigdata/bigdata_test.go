@@ -1,0 +1,393 @@
+package bigdata
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+type post struct {
+	User string
+	Text string
+	Spam bool
+}
+
+func samplePosts() []post {
+	return []post{
+		{"ada", "workflow orchestration rocks", false},
+		{"bob", "BUY NOW", true},
+		{"ada", "hpc and cloud", false},
+		{"cyn", "edge computing", false},
+		{"bob", "energy efficiency", false},
+	}
+}
+
+func TestPipelineFilterMapGroup(t *testing.T) {
+	p := NewPipeline[post, string](4).
+		Filter(func(x post) bool { return !x.Spam }).
+		Map(func(x post) (string, error) { return x.User + ":" + x.Text, nil }).
+		GroupBy(func(m string) string { return strings.SplitN(m, ":", 2)[0] })
+	groups, err := p.Run(context.Background(), samplePosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("groups = %+v", groups)
+	}
+	// Sorted by key: ada, bob, cyn.
+	if groups[0].Key != "ada" || len(groups[0].Items) != 2 {
+		t.Errorf("ada group = %+v", groups[0])
+	}
+	if groups[1].Key != "bob" || len(groups[1].Items) != 1 {
+		t.Errorf("bob group = %+v (spam must be filtered)", groups[1])
+	}
+}
+
+func TestPipelineRequiresPhases(t *testing.T) {
+	p := NewPipeline[int, int](1)
+	if _, err := p.Run(context.Background(), []int{1}); err == nil {
+		t.Error("missing Map accepted")
+	}
+	p.Map(func(x int) (int, error) { return x, nil })
+	if _, err := p.Run(context.Background(), []int{1}); err == nil {
+		t.Error("missing GroupBy accepted")
+	}
+}
+
+func TestPipelineMapErrorAborts(t *testing.T) {
+	p := NewPipeline[int, int](4).
+		Map(func(x int) (int, error) {
+			if x == 13 {
+				return 0, errors.New("unlucky")
+			}
+			return x, nil
+		}).
+		GroupBy(func(int) string { return "all" })
+	xs := make([]int, 100)
+	for i := range xs {
+		xs[i] = i
+	}
+	if _, err := p.Run(context.Background(), xs); err == nil {
+		t.Error("mapping error swallowed")
+	}
+}
+
+func TestPipelineParallelMatchesSequential(t *testing.T) {
+	xs := make([]int, 1000)
+	for i := range xs {
+		xs[i] = i
+	}
+	run := func(workers int) []Group[int] {
+		p := NewPipeline[int, int](workers).
+			Map(func(x int) (int, error) { return x * x, nil }).
+			GroupBy(func(m int) string { return fmt.Sprint(m % 7) })
+		g, err := p.Run(context.Background(), xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	seq, par := run(1), run(8)
+	if len(seq) != len(par) {
+		t.Fatalf("group counts differ")
+	}
+	for i := range seq {
+		if seq[i].Key != par[i].Key || len(seq[i].Items) != len(par[i].Items) {
+			t.Fatalf("group %d differs", i)
+		}
+		for j := range seq[i].Items {
+			if seq[i].Items[j] != par[i].Items[j] {
+				t.Fatalf("order not preserved in group %s", seq[i].Key)
+			}
+		}
+	}
+}
+
+func TestPipelineCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := NewPipeline[int, int](2).
+		Map(func(x int) (int, error) { return x, nil }).
+		GroupBy(func(int) string { return "g" })
+	if _, err := p.Run(ctx, []int{1, 2, 3}); err == nil {
+		t.Error("cancelled context accepted")
+	}
+}
+
+func TestReduceGroups(t *testing.T) {
+	groups := []Group[int]{
+		{Key: "a", Items: []int{1, 2, 3}},
+		{Key: "b", Items: []int{10}},
+	}
+	sums, err := ReduceGroups(context.Background(), groups, 4, func(g Group[int]) (int, error) {
+		s := 0
+		for _, v := range g.Items {
+			s += v
+		}
+		return s, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sums["a"] != 6 || sums["b"] != 10 {
+		t.Errorf("sums = %v", sums)
+	}
+	// Error propagation.
+	_, err = ReduceGroups(context.Background(), groups, 2, func(g Group[int]) (int, error) {
+		return 0, errors.New("boom")
+	})
+	if err == nil {
+		t.Error("reduce error swallowed")
+	}
+}
+
+func TestKMeansSeparatesClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var pts []Point
+	centers := []Point{{0, 0}, {10, 10}, {20, 0}}
+	for _, c := range centers {
+		for i := 0; i < 50; i++ {
+			pts = append(pts, Point{c.X + rng.NormFloat64(), c.Y + rng.NormFloat64()})
+		}
+	}
+	res, err := KMeans(pts, 3, 100, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each true center must be near some centroid.
+	for _, c := range centers {
+		best := 1e18
+		for _, k := range res.Centroids {
+			if d := c.Dist(k); d < best {
+				best = d
+			}
+		}
+		if best > 1.5 {
+			t.Errorf("no centroid near %+v (closest %.2f)", c, best)
+		}
+	}
+	// All points in the same generated blob share an assignment.
+	for blob := 0; blob < 3; blob++ {
+		first := res.Assignment[blob*50]
+		for i := 1; i < 50; i++ {
+			if res.Assignment[blob*50+i] != first {
+				t.Errorf("blob %d split across clusters", blob)
+				break
+			}
+		}
+	}
+	if res.Inertia <= 0 {
+		t.Error("inertia should be positive for noisy data")
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 1}}
+	if _, err := KMeans(pts, 0, 10, nil); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KMeans(pts, 3, 10, nil); err == nil {
+		t.Error("k > n accepted")
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var pts []Point
+	for i := 0; i < 200; i++ {
+		pts = append(pts, Point{rng.Float64() * 100, rng.Float64() * 100})
+	}
+	a, _ := KMeans(pts, 5, 50, rand.New(rand.NewSource(11)))
+	b, _ := KMeans(pts, 5, 50, rand.New(rand.NewSource(11)))
+	if a.Inertia != b.Inertia || a.Iterations != b.Iterations {
+		t.Error("k-means not deterministic under fixed seed")
+	}
+}
+
+func TestFindHotspotsMultiDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var pts []Point
+	// Sparse region (x in [0,100)) with a modest hotspot at (50,50).
+	for i := 0; i < 100; i++ {
+		pts = append(pts, Point{rng.Float64() * 100, rng.Float64() * 100})
+	}
+	for i := 0; i < 80; i++ {
+		pts = append(pts, Point{50 + rng.Float64()*5, 50 + rng.Float64()*5})
+	}
+	// Dense region (x in [1000,1100)) with uniformly higher background and
+	// its own hotspot at (1050,50).
+	for i := 0; i < 1000; i++ {
+		pts = append(pts, Point{1000 + rng.Float64()*100, rng.Float64() * 100})
+	}
+	for i := 0; i < 400; i++ {
+		pts = append(pts, Point{1050 + rng.Float64()*5, 50 + rng.Float64()*5})
+	}
+	cfg := HotspotConfig{CellSize: 5, RegionCells: 20, ThresholdFactor: 3}
+	hs, err := FindHotspots(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) < 2 {
+		t.Fatalf("hotspots = %d, want >= 2 (one per region)", len(hs))
+	}
+	foundSparse, foundDense := false, false
+	for _, h := range hs {
+		if h.Center.Dist(Point{52.5, 52.5}) < 10 {
+			foundSparse = true
+		}
+		if h.Center.Dist(Point{1052.5, 52.5}) < 10 {
+			foundDense = true
+		}
+	}
+	if !foundDense {
+		t.Error("missed the dense-region hotspot")
+	}
+	if !foundSparse {
+		t.Error("missed the sparse-region hotspot (the multi-density point of CHD)")
+	}
+	// Sorted by count descending.
+	for i := 1; i < len(hs); i++ {
+		if hs[i].Count > hs[i-1].Count {
+			t.Error("hotspots not sorted by count")
+		}
+	}
+}
+
+func TestFindHotspotsEdgeCases(t *testing.T) {
+	if _, err := FindHotspots(nil, HotspotConfig{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+	cfg := HotspotConfig{CellSize: 1, RegionCells: 10, ThresholdFactor: 2}
+	hs, err := FindHotspots(nil, cfg)
+	if err != nil || hs != nil {
+		t.Errorf("empty input: %v, %v", hs, err)
+	}
+	// Negative coordinates must bin correctly (floorDiv).
+	pts := []Point{{-0.5, -0.5}, {-0.4, -0.4}, {-0.3, -0.3}, {5, 5}}
+	if _, err := FindHotspots(pts, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloorDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{7, 2, 3}, {-7, 2, -4}, {7, -2, -4}, {-7, -2, 3}, {6, 3, 2}, {-6, 3, -2},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.want {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func genTraining(rng *rand.Rand, n int) []TrainingExample {
+	out := make([]TrainingExample, n)
+	for i := range out {
+		f := JobFeatures{
+			DatasetBytes: math.Exp(rng.Float64()*8) * 1e7, // 10 MB .. ~30 TB
+			Workers:      1 + rng.Intn(256),
+			MemPerWorker: math.Exp(rng.Float64()*4) * 1e8, // 100 MB .. ~5 GB
+		}
+		out[i] = TrainingExample{Features: f, BlockSize: OracleBlockSize(f)}
+	}
+	return out
+}
+
+func TestBlockSizeModelLearnsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	train := genTraining(rng, 400)
+	var m BlockSizeModel
+	if err := m.Fit(train, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	// On held-out jobs, the prediction must be within 4× of the oracle
+	// (log-scale model over a clamped piecewise oracle).
+	within := 0
+	total := 200
+	for i := 0; i < total; i++ {
+		f := genTraining(rng, 1)[0].Features
+		want := OracleBlockSize(f)
+		got, err := m.Estimate(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := got / want
+		if ratio > 0.25 && ratio < 4 {
+			within++
+		}
+	}
+	if frac := float64(within) / float64(total); frac < 0.8 {
+		t.Errorf("only %.0f%% of estimates within 4x of oracle", frac*100)
+	}
+}
+
+// The BLEST-ML claim: estimated block sizes beat naive fixed defaults on
+// simulated runtime for most jobs.
+func TestEstimatedBlockSizeBeatsFixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	var m BlockSizeModel
+	if err := m.Fit(genTraining(rng, 400), 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	wins, total := 0, 100
+	for i := 0; i < total; i++ {
+		f := genTraining(rng, 1)[0].Features
+		est, err := m.Estimate(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tEst, err := PartitionedRuntime(f, est)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tFixed, err := PartitionedRuntime(f, 4<<30) // naive 4 GiB blocks
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tEst <= tFixed {
+			wins++
+		}
+	}
+	if frac := float64(wins) / float64(total); frac < 0.7 {
+		t.Errorf("estimated block size won only %.0f%% of jobs", frac*100)
+	}
+}
+
+func TestBlockSizeModelErrors(t *testing.T) {
+	var m BlockSizeModel
+	if _, err := m.Estimate(JobFeatures{DatasetBytes: 1, Workers: 1, MemPerWorker: 1}); err == nil {
+		t.Error("untrained model estimated")
+	}
+	if err := m.Fit(nil, 0); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if err := m.Fit(genTraining(rand.New(rand.NewSource(1)), 10), -1); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	bad := []TrainingExample{
+		{Features: JobFeatures{DatasetBytes: 0, Workers: 1, MemPerWorker: 1}, BlockSize: 1},
+		{}, {}, {},
+	}
+	if err := m.Fit(bad, 0); err == nil {
+		t.Error("invalid features accepted")
+	}
+}
+
+func TestPartitionedRuntimeShape(t *testing.T) {
+	f := JobFeatures{DatasetBytes: 10e9, Workers: 16, MemPerWorker: 1e9}
+	// Tiny blocks: overhead-dominated. Huge blocks: thrashing. A sane
+	// middle block size beats both.
+	tiny, _ := PartitionedRuntime(f, 1<<16)
+	mid, _ := PartitionedRuntime(f, 128<<20)
+	huge, _ := PartitionedRuntime(f, 8e9)
+	if !(mid < tiny && mid < huge) {
+		t.Errorf("runtime not U-shaped: tiny=%.1f mid=%.1f huge=%.1f", tiny, mid, huge)
+	}
+	if _, err := PartitionedRuntime(f, 0); err == nil {
+		t.Error("zero block size accepted")
+	}
+}

@@ -1,0 +1,196 @@
+package bigdata
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file implements a BLEST-ML-style block size estimator (Cantini et
+// al., 2022): a small learned model predicting a suitable data-partition
+// block size for a data-parallel job from dataset and platform features,
+// replacing hand tuning. The model is ridge-regularized linear regression
+// on log-scaled features, solved exactly via normal equations — adequate
+// for the low-dimensional feature space BLEST-ML uses.
+
+// JobFeatures describe one data-parallel execution.
+type JobFeatures struct {
+	DatasetBytes float64
+	Workers      int
+	MemPerWorker float64 // bytes available per worker
+}
+
+// valid checks the features.
+func (f JobFeatures) valid() error {
+	if f.DatasetBytes <= 0 || f.Workers <= 0 || f.MemPerWorker <= 0 {
+		return fmt.Errorf("bigdata: invalid job features %+v", f)
+	}
+	return nil
+}
+
+// vector returns the log-scaled regression features with intercept.
+func (f JobFeatures) vector() []float64 {
+	return []float64{1, math.Log(f.DatasetBytes), math.Log(float64(f.Workers)), math.Log(f.MemPerWorker)}
+}
+
+// BlockSizeModel predicts log(block size) from job features.
+type BlockSizeModel struct {
+	weights []float64
+	trained bool
+}
+
+// TrainingExample pairs features with the known-good block size.
+type TrainingExample struct {
+	Features  JobFeatures
+	BlockSize float64
+}
+
+// Fit trains the model with ridge regularization strength lambda (>= 0).
+func (m *BlockSizeModel) Fit(examples []TrainingExample, lambda float64) error {
+	if len(examples) < 4 {
+		return errors.New("bigdata: need at least 4 training examples")
+	}
+	if lambda < 0 {
+		return fmt.Errorf("bigdata: negative lambda %v", lambda)
+	}
+	d := 4
+	// Normal equations: (XᵀX + λI) w = Xᵀy.
+	xtx := make([][]float64, d)
+	for i := range xtx {
+		xtx[i] = make([]float64, d)
+	}
+	xty := make([]float64, d)
+	for _, ex := range examples {
+		if err := ex.Features.valid(); err != nil {
+			return err
+		}
+		if ex.BlockSize <= 0 {
+			return fmt.Errorf("bigdata: non-positive block size %v", ex.BlockSize)
+		}
+		x := ex.Features.vector()
+		y := math.Log(ex.BlockSize)
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				xtx[i][j] += x[i] * x[j]
+			}
+			xty[i] += x[i] * y
+		}
+	}
+	for i := 1; i < d; i++ { // don't regularize the intercept
+		xtx[i][i] += lambda
+	}
+	w, err := solveLinear(xtx, xty)
+	if err != nil {
+		return err
+	}
+	m.weights = w
+	m.trained = true
+	return nil
+}
+
+// Estimate predicts a block size (bytes) for the given job. Predictions are
+// clamped to [64 KiB, DatasetBytes].
+func (m *BlockSizeModel) Estimate(f JobFeatures) (float64, error) {
+	if !m.trained {
+		return 0, errors.New("bigdata: model not trained")
+	}
+	if err := f.valid(); err != nil {
+		return 0, err
+	}
+	x := f.vector()
+	var logB float64
+	for i, w := range m.weights {
+		logB += w * x[i]
+	}
+	b := math.Exp(logB)
+	if b < 64<<10 {
+		b = 64 << 10
+	}
+	if b > f.DatasetBytes {
+		b = f.DatasetBytes
+	}
+	return b, nil
+}
+
+// solveLinear solves Ax=b by Gaussian elimination with partial pivoting.
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	// Build augmented copies.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, errors.New("bigdata: singular system (collinear features)")
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := m[i][n]
+		for j := i + 1; j < n; j++ {
+			sum -= m[i][j] * x[j]
+		}
+		x[i] = sum / m[i][i]
+	}
+	return x, nil
+}
+
+// OracleBlockSize is the ground-truth rule used to generate training data
+// in the experiments: the block size that fills each worker's memory budget
+// to 25% while producing at least 2 blocks per worker, capped at 512 MiB.
+func OracleBlockSize(f JobFeatures) float64 {
+	b := f.MemPerWorker / 4
+	if perWorker := f.DatasetBytes / float64(2*f.Workers); perWorker < b {
+		b = perWorker
+	}
+	if b > 512<<20 {
+		b = 512 << 20
+	}
+	if b < 64<<10 {
+		b = 64 << 10
+	}
+	return b
+}
+
+// PartitionedRuntime simulates executing a data-parallel job with the given
+// block size: blocks are processed by Workers in parallel waves; each block
+// pays a fixed scheduling overhead plus a size-proportional scan cost, and
+// blocks too large for a worker's memory thrash (quadratic penalty). The
+// function is the experiment harness that lets benchmarks compare estimated
+// block sizes against fixed defaults.
+func PartitionedRuntime(f JobFeatures, blockSize float64) (float64, error) {
+	if err := f.valid(); err != nil {
+		return 0, err
+	}
+	if blockSize <= 0 {
+		return 0, fmt.Errorf("bigdata: non-positive block size %v", blockSize)
+	}
+	blocks := math.Ceil(f.DatasetBytes / blockSize)
+	const overheadS = 0.05 // per-block scheduling cost
+	const scanBps = 200e6  // per-worker scan speed
+	perBlock := overheadS + blockSize/scanBps
+	if blockSize > f.MemPerWorker {
+		// Thrashing: cost grows with the over-commit ratio squared.
+		ratio := blockSize / f.MemPerWorker
+		perBlock *= ratio * ratio
+	}
+	waves := math.Ceil(blocks / float64(f.Workers))
+	return waves * perBlock, nil
+}

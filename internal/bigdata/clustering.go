@@ -1,0 +1,235 @@
+package bigdata
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// This file implements the two clustering mechanisms the paper surveys:
+// k-means (the workhorse Lapegna et al. port to low-power edge devices) and
+// a CHD-style multi-density grid clustering for urban hotspot detection
+// (Cesario et al., 2022): dense spatial cells are found against *locally
+// adaptive* density thresholds, so regions with different baseline
+// densities still reveal their own hotspots.
+
+// Point is a 2-D observation.
+type Point struct{ X, Y float64 }
+
+// Dist returns the Euclidean distance between two points.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Hypot(dx, dy)
+}
+
+// KMeansResult holds the clustering outcome.
+type KMeansResult struct {
+	Centroids  []Point
+	Assignment []int // index of the centroid per input point
+	Iterations int
+	// Inertia is the sum of squared distances to assigned centroids.
+	Inertia float64
+}
+
+// KMeans runs Lloyd's algorithm with deterministic seeded initialization
+// (random distinct points as initial centroids). It converges when no
+// assignment changes or maxIter is reached.
+func KMeans(points []Point, k int, maxIter int, rng *rand.Rand) (*KMeansResult, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("bigdata: k = %d", k)
+	}
+	if len(points) < k {
+		return nil, fmt.Errorf("bigdata: %d points for k = %d", len(points), k)
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	// Initialize with k distinct sample indices.
+	perm := rng.Perm(len(points))
+	centroids := make([]Point, k)
+	for i := 0; i < k; i++ {
+		centroids[i] = points[perm[i]]
+	}
+	assign := make([]int, len(points))
+	for i := range assign {
+		assign[i] = -1
+	}
+	res := &KMeansResult{Centroids: centroids, Assignment: assign}
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iterations = iter + 1
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cp := range centroids {
+				if d := p.Dist(cp); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Update step.
+		var sx, sy = make([]float64, k), make([]float64, k)
+		count := make([]int, k)
+		for i, p := range points {
+			c := assign[i]
+			sx[c] += p.X
+			sy[c] += p.Y
+			count[c]++
+		}
+		for c := 0; c < k; c++ {
+			if count[c] > 0 {
+				centroids[c] = Point{sx[c] / float64(count[c]), sy[c] / float64(count[c])}
+			}
+			// Empty clusters keep their previous centroid.
+		}
+	}
+	res.Inertia = 0
+	for i, p := range points {
+		d := p.Dist(centroids[assign[i]])
+		res.Inertia += d * d
+	}
+	return res, nil
+}
+
+// Hotspot is one dense region found by multi-density clustering.
+type Hotspot struct {
+	Cells  [][2]int // grid cells (col, row)
+	Count  int      // total points
+	Center Point    // density-weighted centroid
+}
+
+// HotspotConfig configures CHD-style detection.
+type HotspotConfig struct {
+	// CellSize is the grid resolution.
+	CellSize float64
+	// RegionCells is the side (in cells) of the macro-regions over which
+	// density thresholds adapt; each region's threshold is
+	// ThresholdFactor × its own mean non-empty cell density.
+	RegionCells int
+	// ThresholdFactor scales the regional mean density into a threshold.
+	ThresholdFactor float64
+}
+
+// Validate checks the configuration.
+func (c HotspotConfig) Validate() error {
+	if c.CellSize <= 0 {
+		return errors.New("bigdata: non-positive cell size")
+	}
+	if c.RegionCells <= 0 {
+		return errors.New("bigdata: non-positive region size")
+	}
+	if c.ThresholdFactor <= 0 {
+		return errors.New("bigdata: non-positive threshold factor")
+	}
+	return nil
+}
+
+// FindHotspots detects dense cell clusters with locally adaptive density
+// thresholds, merging 4-adjacent dense cells into hotspots. Hotspots are
+// returned sorted by Count descending (ties by center for determinism).
+func FindHotspots(points []Point, cfg HotspotConfig) ([]Hotspot, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return nil, nil
+	}
+	// Bin points into cells.
+	type cell = [2]int
+	counts := map[cell]int{}
+	for _, p := range points {
+		c := cell{int(math.Floor(p.X / cfg.CellSize)), int(math.Floor(p.Y / cfg.CellSize))}
+		counts[c]++
+	}
+	// Regional mean densities over non-empty cells.
+	regionOf := func(c cell) cell {
+		return cell{floorDiv(c[0], cfg.RegionCells), floorDiv(c[1], cfg.RegionCells)}
+	}
+	regSum := map[cell]int{}
+	regN := map[cell]int{}
+	for c, n := range counts {
+		r := regionOf(c)
+		regSum[r] += n
+		regN[r]++
+	}
+	dense := map[cell]bool{}
+	for c, n := range counts {
+		r := regionOf(c)
+		threshold := cfg.ThresholdFactor * float64(regSum[r]) / float64(regN[r])
+		if float64(n) >= threshold {
+			dense[c] = true
+		}
+	}
+	// Flood-fill 4-adjacent dense cells.
+	visited := map[cell]bool{}
+	var hotspots []Hotspot
+	// Deterministic iteration: sort dense cells.
+	cells := make([]cell, 0, len(dense))
+	for c := range dense {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i][0] != cells[j][0] {
+			return cells[i][0] < cells[j][0]
+		}
+		return cells[i][1] < cells[j][1]
+	})
+	for _, start := range cells {
+		if visited[start] {
+			continue
+		}
+		var h Hotspot
+		stack := []cell{start}
+		visited[start] = true
+		var wx, wy float64
+		for len(stack) > 0 {
+			c := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			h.Cells = append(h.Cells, c)
+			n := counts[c]
+			h.Count += n
+			cx := (float64(c[0]) + 0.5) * cfg.CellSize
+			cy := (float64(c[1]) + 0.5) * cfg.CellSize
+			wx += cx * float64(n)
+			wy += cy * float64(n)
+			for _, d := range []cell{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nb := cell{c[0] + d[0], c[1] + d[1]}
+				if dense[nb] && !visited[nb] {
+					visited[nb] = true
+					stack = append(stack, nb)
+				}
+			}
+		}
+		h.Center = Point{wx / float64(h.Count), wy / float64(h.Count)}
+		hotspots = append(hotspots, h)
+	}
+	sort.Slice(hotspots, func(i, j int) bool {
+		if hotspots[i].Count != hotspots[j].Count {
+			return hotspots[i].Count > hotspots[j].Count
+		}
+		if hotspots[i].Center.X != hotspots[j].Center.X {
+			return hotspots[i].Center.X < hotspots[j].Center.X
+		}
+		return hotspots[i].Center.Y < hotspots[j].Center.Y
+	})
+	return hotspots, nil
+}
+
+func floorDiv(a, b int) int {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}

@@ -1,0 +1,50 @@
+package capio
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// BenchmarkStreamingStore measures producer/consumer coupling through the
+// virtual file store.
+func BenchmarkStreamingStore(b *testing.B) {
+	chunk := make([]byte, 4096)
+	for i := 0; i < b.N; i++ {
+		s := NewStore()
+		w, err := s.Create(fmt.Sprintf("f%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := s.Open(fmt.Sprintf("f%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.ReadAll(); err != nil {
+				b.Error(err)
+			}
+		}()
+		for j := 0; j < 100; j++ {
+			if _, err := w.Write(chunk); err != nil {
+				b.Fatal(err)
+			}
+		}
+		_ = w.Close()
+		wg.Wait()
+	}
+	b.SetBytes(100 * 4096)
+}
+
+// BenchmarkCouplingModel measures the streamed-makespan simulation.
+func BenchmarkCouplingModel(b *testing.B) {
+	m := CouplingModel{Chunks: 1000, ProduceS: 0.5, TransferS: 0.1, ConsumeS: 0.4}
+	for i := 0; i < b.N; i++ {
+		if _, err := m.StreamedMakespan(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

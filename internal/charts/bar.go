@@ -1,0 +1,183 @@
+package charts
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Bar is one bar of a bar chart / histogram.
+type Bar struct {
+	Label string
+	Value int
+}
+
+// BarChart models a vertical bar chart such as the paper's Figure 3
+// (number of research directions covered per institution).
+type BarChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Bars   []Bar
+}
+
+// Validate checks the chart is renderable.
+func (c *BarChart) Validate() error {
+	if len(c.Bars) == 0 {
+		return ErrNoData
+	}
+	for _, b := range c.Bars {
+		if b.Value < 0 {
+			return fmt.Errorf("charts: negative bar %q = %d", b.Label, b.Value)
+		}
+	}
+	return nil
+}
+
+// MaxValue returns the tallest bar's value.
+func (c *BarChart) MaxValue() int {
+	m := 0
+	for _, b := range c.Bars {
+		if b.Value > m {
+			m = b.Value
+		}
+	}
+	return m
+}
+
+// ASCII renders the chart as a vertical column plot with a y axis, e.g.:
+//
+//	5 |  #
+//	4 |  #
+//	3 |  #        #
+//	2 |  #        #
+//	1 |  #  #  #  #
+//	  +---------------
+//	     1  2  3  4
+func (c *BarChart) ASCII() (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	maxV := c.MaxValue()
+	if maxV == 0 {
+		maxV = 1
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+	}
+	yW := len(fmt.Sprint(maxV))
+	colW := 0
+	for _, bar := range c.Bars {
+		if len(bar.Label) > colW {
+			colW = len(bar.Label)
+		}
+	}
+	if colW < 2 {
+		colW = 2
+	}
+	for level := maxV; level >= 1; level-- {
+		fmt.Fprintf(&b, "%*d |", yW, level)
+		for _, bar := range c.Bars {
+			mark := " "
+			if bar.Value >= level {
+				mark = "#"
+			}
+			fmt.Fprintf(&b, " %*s", colW, mark)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", yW), strings.Repeat("-", (colW+1)*len(c.Bars)+1))
+	fmt.Fprintf(&b, "%s  ", strings.Repeat(" ", yW))
+	for _, bar := range c.Bars {
+		fmt.Fprintf(&b, " %*s", colW, bar.Label)
+	}
+	b.WriteByte('\n')
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, "%s   x: %s\n", strings.Repeat(" ", yW), c.XLabel)
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "%s   y: %s\n", strings.Repeat(" ", yW), c.YLabel)
+	}
+	return b.String(), nil
+}
+
+// SVG renders the bar chart as a standalone SVG document.
+func (c *BarChart) SVG(width, height int) (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	if width < 100 {
+		width = 480
+	}
+	if height < 80 {
+		height = 320
+	}
+	maxV := c.MaxValue()
+	if maxV == 0 {
+		maxV = 1
+	}
+	marginL, marginB, marginT := 48, 48, 32
+	plotW := width - marginL - 16
+	plotH := height - marginB - marginT
+	n := len(c.Bars)
+	slot := float64(plotW) / float64(n)
+	barW := slot * 0.6
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="20" text-anchor="middle" font-family="sans-serif" font-size="14">%s</text>`+"\n",
+			width/2, escapeXML(c.Title))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	// Y ticks at integer values.
+	step := 1
+	if maxV > 8 {
+		step = (maxV + 7) / 8
+	}
+	for v := 0; v <= maxV; v += step {
+		y := float64(marginT+plotH) - float64(v)/float64(maxV)*float64(plotH)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%g" x2="%d" y2="%g" stroke="#999"/>`+"\n", marginL-4, y, marginL, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%g" text-anchor="end" font-family="sans-serif" font-size="11">%d</text>`+"\n",
+			marginL-8, y+4, v)
+	}
+	// Bars + x labels.
+	for i, bar := range c.Bars {
+		h := float64(bar.Value) / float64(maxV) * float64(plotH)
+		x := float64(marginL) + float64(i)*slot + (slot-barW)/2
+		y := float64(marginT+plotH) - h
+		fmt.Fprintf(&b, `<rect x="%g" y="%g" width="%g" height="%g" fill="%s"><title>%s: %d</title></rect>`+"\n",
+			x, y, barW, h, defaultPalette[0], escapeXML(bar.Label), bar.Value)
+		fmt.Fprintf(&b, `<text x="%g" y="%d" text-anchor="middle" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			x+barW/2, marginT+plotH+16, escapeXML(bar.Label))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			marginL+plotW/2, height-8, escapeXML(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%d" text-anchor="middle" font-family="sans-serif" font-size="12" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+			marginT+plotH/2, marginT+plotH/2, escapeXML(c.YLabel))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// CSV renders "label,value" rows.
+func (c *BarChart) CSV() (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("label,value\n")
+	for _, bar := range c.Bars {
+		fmt.Fprintf(&b, "%s,%d\n", csvEscape(bar.Label), bar.Value)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,202 @@
+// Package charts renders the figure and table types used by the mapping
+// study — pie charts (Figures 2 and 4), bar histograms (Figure 3), and
+// matrix/classification tables (Tables 1 and 2) — as ASCII text, SVG, and
+// CSV, using only the standard library.
+//
+// The Go ecosystem has no stdlib plotting support (one of the declared
+// reproduction gaps), so these renderers are deliberately small and
+// deterministic: identical input always yields byte-identical output, which
+// lets tests assert on the rendered artifacts.
+package charts
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrNoData is returned when a chart is rendered with no usable data.
+var ErrNoData = errors.New("charts: no data")
+
+// Slice is one wedge of a pie chart.
+type Slice struct {
+	Label string
+	Value int
+}
+
+// Pie models a pie chart such as the paper's Figures 2 and 4.
+type Pie struct {
+	Title  string
+	Slices []Slice
+}
+
+// Total returns the sum of all slice values.
+func (p *Pie) Total() int {
+	t := 0
+	for _, s := range p.Slices {
+		t += s.Value
+	}
+	return t
+}
+
+// Validate checks the pie is renderable: at least one slice, no negative
+// values, positive total.
+func (p *Pie) Validate() error {
+	if len(p.Slices) == 0 {
+		return ErrNoData
+	}
+	for _, s := range p.Slices {
+		if s.Value < 0 {
+			return fmt.Errorf("charts: negative slice %q = %d", s.Label, s.Value)
+		}
+	}
+	if p.Total() == 0 {
+		return ErrNoData
+	}
+	return nil
+}
+
+// ASCII renders the pie as a labeled proportional bar list:
+//
+//	Orchestration         7 (28.0%) ██████████████
+//	Big Data management   6 (24.0%) ████████████
+//
+// width is the maximum bar width in cells (≥ 1).
+func (p *Pie) ASCII(width int) (string, error) {
+	if err := p.Validate(); err != nil {
+		return "", err
+	}
+	if width < 1 {
+		width = 40
+	}
+	total := p.Total()
+	labelW, valueW := 0, 0
+	for _, s := range p.Slices {
+		if len(s.Label) > labelW {
+			labelW = len(s.Label)
+		}
+		if w := len(fmt.Sprint(s.Value)); w > valueW {
+			valueW = w
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s (n=%d)\n", p.Title, total)
+	}
+	maxV := 0
+	for _, s := range p.Slices {
+		if s.Value > maxV {
+			maxV = s.Value
+		}
+	}
+	for _, s := range p.Slices {
+		share := float64(s.Value) / float64(total)
+		bar := 0
+		if maxV > 0 {
+			bar = int(float64(s.Value) / float64(maxV) * float64(width))
+		}
+		if s.Value > 0 && bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "%-*s %*d (%5.1f%%) %s\n",
+			labelW, s.Label, valueW, s.Value, share*100, strings.Repeat("█", bar))
+	}
+	return b.String(), nil
+}
+
+// defaultPalette holds the wedge fill colors used for SVG output.
+var defaultPalette = []string{
+	"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+	"#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+}
+
+// SVG renders the pie chart as a standalone SVG document of the given pixel
+// size (width = size + legend, height = size).
+func (p *Pie) SVG(size int) (string, error) {
+	if err := p.Validate(); err != nil {
+		return "", err
+	}
+	if size < 64 {
+		size = 320
+	}
+	total := float64(p.Total())
+	cx, cy := float64(size)/2, float64(size)/2
+	r := float64(size)*0.5 - 8
+
+	var b strings.Builder
+	legendW := 220
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		size+legendW, size+24, size+legendW, size+24)
+	if p.Title != "" {
+		fmt.Fprintf(&b, `<text x="%g" y="16" text-anchor="middle" font-family="sans-serif" font-size="14">%s</text>`+"\n",
+			cx, escapeXML(p.Title))
+	}
+	angle := -90.0 // start at 12 o'clock like the paper's figures
+	for i, s := range p.Slices {
+		if s.Value == 0 {
+			continue
+		}
+		frac := float64(s.Value) / total
+		sweep := frac * 360
+		color := defaultPalette[i%len(defaultPalette)]
+		if frac >= 0.999999 {
+			// Full-circle wedge: an arc with identical endpoints renders as
+			// nothing, so emit a circle instead.
+			fmt.Fprintf(&b, `<circle cx="%g" cy="%g" r="%g" fill="%s"><title>%s: %d</title></circle>`+"\n",
+				cx, cy+24, r, color, escapeXML(s.Label), s.Value)
+			angle += sweep
+			continue
+		}
+		x1, y1 := arcPoint(cx, cy+24, r, angle)
+		x2, y2 := arcPoint(cx, cy+24, r, angle+sweep)
+		large := 0
+		if sweep > 180 {
+			large = 1
+		}
+		fmt.Fprintf(&b, `<path d="M%g,%g L%g,%g A%g,%g 0 %d 1 %g,%g Z" fill="%s" stroke="white" stroke-width="1"><title>%s: %d (%.1f%%)</title></path>`+"\n",
+			cx, cy+24, x1, y1, r, r, large, x2, y2, color, escapeXML(s.Label), s.Value, frac*100)
+		angle += sweep
+	}
+	// Legend.
+	for i, s := range p.Slices {
+		y := 32 + i*22
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="14" height="14" fill="%s"/>`+"\n",
+			size+8, y, defaultPalette[i%len(defaultPalette)])
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">%s (%d)</text>`+"\n",
+			size+28, y+12, escapeXML(s.Label), s.Value)
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// CSV renders "label,value,share" rows.
+func (p *Pie) CSV() (string, error) {
+	if err := p.Validate(); err != nil {
+		return "", err
+	}
+	total := float64(p.Total())
+	var b strings.Builder
+	b.WriteString("label,value,share\n")
+	for _, s := range p.Slices {
+		fmt.Fprintf(&b, "%s,%d,%.4f\n", csvEscape(s.Label), s.Value, float64(s.Value)/total)
+	}
+	return b.String(), nil
+}
+
+func arcPoint(cx, cy, r, deg float64) (float64, float64) {
+	rad := deg * math.Pi / 180
+	return cx + r*math.Cos(rad), cy + r*math.Sin(rad)
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

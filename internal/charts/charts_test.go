@@ -1,0 +1,357 @@
+package charts
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func fig2Pie() *Pie {
+	return &Pie{
+		Title: "Tool distribution over research directions",
+		Slices: []Slice{
+			{"Interactive computing", 3},
+			{"Orchestration", 7},
+			{"Energy efficiency", 3},
+			{"Performance portability", 6},
+			{"Big Data management", 6},
+		},
+	}
+}
+
+func TestPieValidate(t *testing.T) {
+	p := &Pie{}
+	if err := p.Validate(); err != ErrNoData {
+		t.Errorf("empty pie err = %v", err)
+	}
+	p = &Pie{Slices: []Slice{{"a", 0}}}
+	if err := p.Validate(); err != ErrNoData {
+		t.Errorf("zero-total pie err = %v", err)
+	}
+	p = &Pie{Slices: []Slice{{"a", -1}}}
+	if err := p.Validate(); err == nil {
+		t.Error("negative slice should error")
+	}
+	if err := fig2Pie().Validate(); err != nil {
+		t.Errorf("fig2 pie err = %v", err)
+	}
+}
+
+func TestPieASCII(t *testing.T) {
+	out, err := fig2Pie().ASCII(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "n=25") {
+		t.Errorf("missing total in output:\n%s", out)
+	}
+	if !strings.Contains(out, "28.0%") {
+		t.Errorf("orchestration share missing:\n%s", out)
+	}
+	if !strings.Contains(out, "12.0%") {
+		t.Errorf("interactive share missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title + 5 slices
+		t.Errorf("got %d lines, want 6:\n%s", len(lines), out)
+	}
+	// Determinism.
+	out2, _ := fig2Pie().ASCII(20)
+	if out != out2 {
+		t.Error("ASCII output not deterministic")
+	}
+}
+
+func TestPieASCIIZeroSliceStillVisible(t *testing.T) {
+	p := &Pie{Slices: []Slice{{"big", 1000}, {"tiny", 1}}}
+	out, err := p.ASCII(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tiny must still render at least one bar cell
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "tiny") && !strings.Contains(line, "█") {
+			t.Errorf("tiny slice lost its bar: %q", line)
+		}
+	}
+}
+
+func TestPieSVG(t *testing.T) {
+	svg, err := fig2Pie().SVG(320)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Error("not a complete SVG document")
+	}
+	if got := strings.Count(svg, "<path"); got != 5 {
+		t.Errorf("wedge count = %d, want 5", got)
+	}
+	if !strings.Contains(svg, "Orchestration: 7") {
+		t.Error("missing tooltip for orchestration")
+	}
+	// Full-circle special case.
+	full := &Pie{Slices: []Slice{{"all", 10}}}
+	svg, err = full.SVG(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "<circle") {
+		t.Error("single full slice should render a circle")
+	}
+}
+
+func TestPieSVGEscaping(t *testing.T) {
+	p := &Pie{Title: `a<b & "c"`, Slices: []Slice{{"x<y", 1}}}
+	svg, err := p.SVG(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "x<y") || strings.Contains(svg, `a<b & "c"`) {
+		t.Error("XML not escaped")
+	}
+	if !strings.Contains(svg, "x&lt;y") {
+		t.Error("expected escaped label")
+	}
+}
+
+func TestPieCSV(t *testing.T) {
+	csv, err := fig2Pie().CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("csv lines = %d, want 6", len(lines))
+	}
+	if lines[0] != "label,value,share" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[2] != "Orchestration,7,0.2800" {
+		t.Errorf("orchestration row = %q", lines[2])
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	cases := map[string]string{
+		"plain":     "plain",
+		"a,b":       `"a,b"`,
+		`say "hi"`:  `"say ""hi"""`,
+		"line\ntwo": "\"line\ntwo\"",
+	}
+	for in, want := range cases {
+		if got := csvEscape(in); got != want {
+			t.Errorf("csvEscape(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func fig3Chart() *BarChart {
+	return &BarChart{
+		Title:  "Research directions covered per institution",
+		XLabel: "# Covered research directions",
+		YLabel: "# Research institutions",
+		Bars: []Bar{
+			{"1", 5}, {"2", 1}, {"3", 2}, {"4", 1}, {"5", 0},
+		},
+	}
+}
+
+func TestBarChartASCII(t *testing.T) {
+	out, err := fig3Chart().ASCII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "# Covered research directions") {
+		t.Error("missing x label")
+	}
+	// The tallest bar has height 5: five '#' in its column.
+	if got := strings.Count(out, "#"); got != 5+1+2+1+0+2 { // bars + "# Covered"/"# Research" label hashes
+		t.Errorf("hash count = %d", got)
+	}
+	out2, _ := fig3Chart().ASCII()
+	if out != out2 {
+		t.Error("not deterministic")
+	}
+}
+
+func TestBarChartValidate(t *testing.T) {
+	c := &BarChart{}
+	if err := c.Validate(); err != ErrNoData {
+		t.Errorf("empty chart err = %v", err)
+	}
+	c = &BarChart{Bars: []Bar{{"a", -2}}}
+	if err := c.Validate(); err == nil {
+		t.Error("negative bar should error")
+	}
+}
+
+func TestBarChartSVG(t *testing.T) {
+	svg, err := fig3Chart().SVG(480, 320)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(svg, "<rect"); got != 5 {
+		t.Errorf("bar rects = %d, want 5", got)
+	}
+	if !strings.Contains(svg, "1: 5") {
+		t.Error("missing tooltip for bucket 1")
+	}
+}
+
+func TestBarChartCSV(t *testing.T) {
+	csv, err := fig3Chart().CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv, "1,5\n") || !strings.Contains(csv, "5,0\n") {
+		t.Errorf("csv:\n%s", csv)
+	}
+}
+
+func TestTableValidate(t *testing.T) {
+	tb := &Table{}
+	if err := tb.Validate(); err != ErrNoData {
+		t.Errorf("empty table err = %v", err)
+	}
+	tb = &Table{Header: []string{"a", "b"}, Rows: [][]string{{"1"}}}
+	if err := tb.Validate(); err == nil {
+		t.Error("ragged row should error")
+	}
+}
+
+func TestTableASCII(t *testing.T) {
+	tb := &Table{
+		Title:  "Demo",
+		Header: []string{"Tool", "Direction"},
+		Rows: [][]string{
+			{"StreamFlow", "Orchestration"},
+			{"FastFlow", "Performance portability"},
+		},
+	}
+	out, err := tb.ASCII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "StreamFlow") || !strings.Contains(out, "│") {
+		t.Errorf("ascii table:\n%s", out)
+	}
+	// All table body lines equally wide.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	w := displayWidth(lines[1])
+	for _, l := range lines[1:] {
+		if displayWidth(l) != w {
+			t.Errorf("uneven line width %d vs %d: %q", displayWidth(l), w, l)
+		}
+	}
+}
+
+func TestTableMarkdownAndCSV(t *testing.T) {
+	tb := &Table{
+		Header: []string{"Tool", "Vote"},
+		Rows:   [][]string{{"A|B", "✓"}, {"C,D", ""}},
+	}
+	md, err := tb.Markdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md, `A\|B`) {
+		t.Error("pipe not escaped in markdown")
+	}
+	csv, err := tb.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv, `"C,D"`) {
+		t.Error("comma cell not quoted in csv")
+	}
+}
+
+func TestTableUnicodeWidths(t *testing.T) {
+	tb := &Table{
+		Header: []string{"x"},
+		Rows:   [][]string{{"✓"}, {"longer"}},
+	}
+	out, err := tb.ASCII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	w := displayWidth(lines[0])
+	for _, l := range lines {
+		if displayWidth(l) != w {
+			t.Errorf("checkmark row broke alignment: %q", l)
+		}
+	}
+}
+
+// Property: any non-negative pie renders valid CSV with one line per slice.
+func TestPieCSVProperty(t *testing.T) {
+	f := func(vals []uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		p := &Pie{}
+		total := 0
+		for i, v := range vals {
+			p.Slices = append(p.Slices, Slice{Label: string(rune('a' + i%26)), Value: int(v)})
+			total += int(v)
+		}
+		csv, err := p.CSV()
+		if total == 0 {
+			return err == ErrNoData
+		}
+		if err != nil {
+			return false
+		}
+		return strings.Count(csv, "\n") == len(vals)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatrixValidate(t *testing.T) {
+	m := &Matrix{}
+	if err := m.Validate(); err != ErrNoData {
+		t.Errorf("empty matrix err = %v", err)
+	}
+	m = &Matrix{RowLabels: []string{"a"}, ColLabels: []string{"x"}, Cells: [][]bool{}}
+	if err := m.Validate(); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	m = &Matrix{RowLabels: []string{"a"}, ColLabels: []string{"x", "y"}, Cells: [][]bool{{true}}}
+	if err := m.Validate(); err == nil {
+		t.Error("ragged cells accepted")
+	}
+	m = &Matrix{RowLabels: []string{"a"}, ColLabels: []string{"x"}, Cells: [][]bool{{true}}, RowGroups: []int{0, 1}}
+	if err := m.Validate(); err == nil {
+		t.Error("misaligned groups accepted")
+	}
+}
+
+func TestMatrixSVG(t *testing.T) {
+	m := &Matrix{
+		Title:     "Integration matrix",
+		RowLabels: []string{"StreamFlow", "PESOS"},
+		ColLabels: []string{"3.1", "3.2"},
+		Cells:     [][]bool{{false, true}, {false, false}},
+		RowGroups: []int{1, 2},
+	}
+	if m.Count() != 1 {
+		t.Errorf("count = %d", m.Count())
+	}
+	svg, err := m.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(svg, "<circle"); got != 1 {
+		t.Errorf("dots = %d, want 1", got)
+	}
+	if !strings.Contains(svg, "StreamFlow × 3.2") {
+		t.Error("missing tooltip")
+	}
+	if got := strings.Count(svg, "<rect"); got != 4 {
+		t.Errorf("grid cells = %d, want 4", got)
+	}
+}

@@ -1,0 +1,104 @@
+package charts
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Matrix renders a boolean incidence matrix (the paper's Table 2 layout) as
+// an SVG heat/dot map: rows × columns with a filled cell per true entry.
+// It complements Table, which renders the same data as text.
+type Matrix struct {
+	Title     string
+	RowLabels []string
+	ColLabels []string
+	// Cells[r][c] marks an incidence.
+	Cells [][]bool
+	// RowGroups optionally assigns each row a group index used for row
+	// coloring (e.g. the research direction). Nil = single group.
+	RowGroups []int
+}
+
+// Validate checks shape consistency.
+func (m *Matrix) Validate() error {
+	if len(m.RowLabels) == 0 || len(m.ColLabels) == 0 {
+		return ErrNoData
+	}
+	if len(m.Cells) != len(m.RowLabels) {
+		return fmt.Errorf("charts: %d cell rows for %d labels", len(m.Cells), len(m.RowLabels))
+	}
+	for r, row := range m.Cells {
+		if len(row) != len(m.ColLabels) {
+			return fmt.Errorf("charts: row %d has %d cells, want %d", r, len(row), len(m.ColLabels))
+		}
+	}
+	if m.RowGroups != nil && len(m.RowGroups) != len(m.RowLabels) {
+		return fmt.Errorf("charts: %d row groups for %d rows", len(m.RowGroups), len(m.RowLabels))
+	}
+	return nil
+}
+
+// Count returns the number of true cells.
+func (m *Matrix) Count() int {
+	n := 0
+	for _, row := range m.Cells {
+		for _, c := range row {
+			if c {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// SVG renders the matrix as a dot map.
+func (m *Matrix) SVG() (string, error) {
+	if err := m.Validate(); err != nil {
+		return "", err
+	}
+	const cell = 22
+	labelW := 0
+	for _, l := range m.RowLabels {
+		if w := len(l) * 7; w > labelW {
+			labelW = w
+		}
+	}
+	labelW += 12
+	headerH := 48
+	width := labelW + len(m.ColLabels)*cell + 16
+	height := headerH + len(m.RowLabels)*cell + 16
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	if m.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="16" font-family="sans-serif" font-size="13">%s</text>`+"\n",
+			8, escapeXML(m.Title))
+	}
+	for c, l := range m.ColLabels {
+		x := labelW + c*cell + cell/2
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			x, headerH-8, escapeXML(l))
+	}
+	for r, l := range m.RowLabels {
+		y := headerH + r*cell
+		group := 0
+		if m.RowGroups != nil {
+			group = m.RowGroups[r]
+		}
+		color := defaultPalette[group%len(defaultPalette)]
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11" fill="%s">%s</text>`+"\n",
+			8, y+15, color, escapeXML(l))
+		for c := range m.ColLabels {
+			x := labelW + c*cell
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#ddd"/>`+"\n",
+				x, y, cell, cell)
+			if m.Cells[r][c] {
+				fmt.Fprintf(&b, `<circle cx="%d" cy="%d" r="6" fill="%s"><title>%s × %s</title></circle>`+"\n",
+					x+cell/2, y+cell/2, color, escapeXML(l), escapeXML(m.ColLabels[c]))
+			}
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}

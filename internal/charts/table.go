@@ -1,0 +1,141 @@
+package charts
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table models a text table such as the paper's Table 1 (tool classification)
+// and Table 2 (application/tool integration matrix). Cells are free-form
+// strings; the matrix variant uses "✓" and "".
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// RowGroups optionally labels contiguous row ranges (used by Table 2,
+	// where rows are grouped by research direction). Keys are the starting
+	// row index of each group.
+	RowGroups map[int]string
+}
+
+// Validate checks that every row has the same width as the header.
+func (t *Table) Validate() error {
+	if len(t.Header) == 0 {
+		return ErrNoData
+	}
+	for i, r := range t.Rows {
+		if len(r) != len(t.Header) {
+			return fmt.Errorf("charts: row %d has %d cells, header has %d", i, len(r), len(t.Header))
+		}
+	}
+	return nil
+}
+
+// widths returns the display width of each column.
+func (t *Table) widths() []int {
+	ws := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		ws[i] = displayWidth(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if w := displayWidth(c); w > ws[i] {
+				ws[i] = w
+			}
+		}
+	}
+	return ws
+}
+
+// displayWidth counts runes, which is adequate for our ASCII + "✓" content.
+func displayWidth(s string) int { return len([]rune(s)) }
+
+func padCell(s string, w int) string {
+	return s + strings.Repeat(" ", w-displayWidth(s))
+}
+
+// ASCII renders the table with box-drawing separators.
+func (t *Table) ASCII() (string, error) {
+	if err := t.Validate(); err != nil {
+		return "", err
+	}
+	ws := t.widths()
+	line := func(l, m, r string) string {
+		parts := make([]string, len(ws))
+		for i, w := range ws {
+			parts[i] = strings.Repeat("─", w+2)
+		}
+		return l + strings.Join(parts, m) + r + "\n"
+	}
+	row := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = " " + padCell(c, ws[i]) + " "
+		}
+		return "│" + strings.Join(parts, "│") + "│\n"
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	b.WriteString(line("┌", "┬", "┐"))
+	b.WriteString(row(t.Header))
+	b.WriteString(line("├", "┼", "┤"))
+	for i, r := range t.Rows {
+		if g, ok := t.RowGroups[i]; ok && i > 0 {
+			b.WriteString(line("├", "┼", "┤"))
+			_ = g // group label shown via first column content
+		}
+		b.WriteString(row(r))
+	}
+	b.WriteString(line("└", "┴", "┘"))
+	return b.String(), nil
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() (string, error) {
+	if err := t.Validate(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, r := range t.Rows {
+		cells := make([]string, len(r))
+		for i, c := range r {
+			cells[i] = strings.ReplaceAll(c, "|", "\\|")
+		}
+		b.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	return b.String(), nil
+}
+
+// CSV renders the table as CSV with the header first.
+func (t *Table) CSV() (string, error) {
+	if err := t.Validate(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvEscape(c))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,160 @@
+package continuum
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file implements the discrete-event simulation core used by the
+// orchestration, FaaS and energy substrates. The engine is single-threaded
+// and fully deterministic: events at equal timestamps fire in scheduling
+// order (FIFO), so repeated runs produce identical traces.
+
+// Event is a scheduled callback.
+type event struct {
+	at   float64
+	seq  uint64 // tie-breaker preserving scheduling order
+	fn   func()
+	dead bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// EventID identifies a scheduled event for cancellation.
+type EventID struct{ e *event }
+
+// Engine is a deterministic discrete-event simulator.
+type Engine struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	// Processed counts executed events, useful for run-away detection in
+	// tests and benchmarks.
+	Processed int
+	// MaxEvents aborts Run after this many events when > 0.
+	MaxEvents int
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule runs fn after delay seconds. Negative delays are errors.
+func (e *Engine) Schedule(delay float64, fn func()) (EventID, error) {
+	if delay < 0 || math.IsNaN(delay) || math.IsInf(delay, 0) {
+		return EventID{}, fmt.Errorf("continuum: invalid delay %v", delay)
+	}
+	if fn == nil {
+		return EventID{}, errors.New("continuum: nil event callback")
+	}
+	ev := &event{at: e.now + delay, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return EventID{ev}, nil
+}
+
+// MustSchedule is Schedule for callers with known-good delays; it panics on
+// programmer error.
+func (e *Engine) MustSchedule(delay float64, fn func()) EventID {
+	id, err := e.Schedule(delay, fn)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an already-fired
+// or already-cancelled event is a no-op returning false.
+func (e *Engine) Cancel(id EventID) bool {
+	if id.e == nil || id.e.dead {
+		return false
+	}
+	id.e.dead = true
+	return true
+}
+
+// Pending returns the number of live scheduled events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Step executes the next event, returning false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.dead {
+			continue
+		}
+		if ev.at < e.now {
+			// Heap invariant guarantees monotone time; this is unreachable
+			// unless memory is corrupted, so fail loudly.
+			panic(fmt.Sprintf("continuum: time went backwards (%v < %v)", ev.at, e.now))
+		}
+		e.now = ev.at
+		e.Processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or until the given horizon
+// (inclusive; math.Inf(1) for no horizon). It returns an error if MaxEvents
+// is exceeded, which in practice means a simulation is self-perpetuating.
+func (e *Engine) Run(until float64) error {
+	for len(e.events) > 0 {
+		// Peek: the heap root is the earliest live event.
+		next := e.events[0]
+		if next.dead {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > until {
+			return nil
+		}
+		e.Step()
+		if e.MaxEvents > 0 && e.Processed > e.MaxEvents {
+			return fmt.Errorf("continuum: exceeded %d events at t=%v", e.MaxEvents, e.now)
+		}
+	}
+	return nil
+}
+
+// RunAll executes events until the queue drains.
+func (e *Engine) RunAll() error { return e.Run(math.Inf(1)) }
+
+// AdvanceTo moves the clock to t without executing anything, failing if
+// events before t are still pending (to prevent silently skipping work).
+func (e *Engine) AdvanceTo(t float64) error {
+	if t < e.now {
+		return fmt.Errorf("continuum: cannot rewind clock from %v to %v", e.now, t)
+	}
+	for _, ev := range e.events {
+		if !ev.dead && ev.at < t {
+			return fmt.Errorf("continuum: pending event at %v before advance target %v", ev.at, t)
+		}
+	}
+	e.now = t
+	return nil
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/stats"
+)
+
+// Extension analysis (not a paper figure): the abstract describes the
+// energy-efficiency efforts as "still immature but promising". Publication
+// years of the tools' reference papers let the study quantify recency per
+// research direction — an SMS-style bibliometric view of how established
+// each direction's tooling is.
+
+// MaturityReport summarizes publication recency.
+type MaturityReport struct {
+	// YearCounts maps publication year → number of tools (tools without a
+	// reference publication are excluded and counted in Unpublished).
+	YearCounts map[int]int
+	// Unpublished counts tools with no reference publication (repository
+	// or service only) — itself a maturity signal.
+	Unpublished int
+	// MedianYear per direction (0 when a direction has no dated tools).
+	MedianYear map[catalog.Direction]float64
+}
+
+// Years returns the observed years, ascending.
+func (m *MaturityReport) Years() []int {
+	ys := make([]int, 0, len(m.YearCounts))
+	for y := range m.YearCounts {
+		ys = append(ys, y)
+	}
+	sort.Ints(ys)
+	return ys
+}
+
+// Maturity computes the publication-recency analysis over the catalog.
+func (s *Study) Maturity() *MaturityReport {
+	rep := &MaturityReport{
+		YearCounts: map[int]int{},
+		MedianYear: map[catalog.Direction]float64{},
+	}
+	perDir := map[catalog.Direction][]float64{}
+	for _, t := range s.Catalog.Tools {
+		if t.Year == 0 {
+			rep.Unpublished++
+			continue
+		}
+		rep.YearCounts[t.Year]++
+		perDir[t.Direction] = append(perDir[t.Direction], float64(t.Year))
+	}
+	for _, d := range catalog.Directions() {
+		if ys := perDir[d]; len(ys) > 0 {
+			med, err := stats.Median(ys)
+			if err == nil {
+				rep.MedianYear[d] = med
+			}
+		}
+	}
+	return rep
+}
+
+// MaturitySummary renders the analysis as text findings.
+func (s *Study) MaturitySummary() []string {
+	rep := s.Maturity()
+	var out []string
+	for _, d := range catalog.Directions() {
+		if m := rep.MedianYear[d]; m > 0 {
+			out = append(out, fmt.Sprintf("%s: median reference year %.1f", d, m))
+		} else {
+			out = append(out, fmt.Sprintf("%s: no dated reference publications", d))
+		}
+	}
+	out = append(out, fmt.Sprintf("tools without a reference publication: %d of %d",
+		rep.Unpublished, len(s.Catalog.Tools)))
+	return out
+}

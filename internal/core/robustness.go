@@ -1,0 +1,135 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/catalog"
+	"repro/internal/stats"
+)
+
+// This file adds a validity analysis on top of the paper's Q3 conclusion
+// ("advanced workflow orchestration is the most critical need"). The paper
+// draws it from 28 votes by 10 application providers — a small sample, so a
+// natural SMS-extension question is how stable the conclusion is under
+// resampling. Two checks are provided:
+//
+//   - BootstrapQ3: nonparametric bootstrap over the 28 votes;
+//   - LeaveOneOutQ3: drop each application in turn (provider-level
+//     sensitivity, the more conservative unit of resampling).
+
+// BootstrapResult summarizes the resampling analysis.
+type BootstrapResult struct {
+	Trials int
+	// TopShare maps each direction to the fraction of resamples in which
+	// it was the (unique, earliest-on-tie) most-voted direction.
+	TopShare map[catalog.Direction]float64
+	// Stability is TopShare of the observed winner (Orchestration).
+	Stability float64
+}
+
+// BootstrapQ3 resamples the selection votes with replacement `trials`
+// times and reports how often each direction tops the resampled
+// distribution. Deterministic under seed.
+func (s *Study) BootstrapQ3(trials int, seed int64) (*BootstrapResult, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("core: non-positive trials %d", trials)
+	}
+	votes, err := s.voteDirections()
+	if err != nil {
+		return nil, err
+	}
+	if len(votes) == 0 {
+		return nil, errors.New("core: no votes to resample")
+	}
+	observed, err := s.VoteDistribution()
+	if err != nil {
+		return nil, err
+	}
+	winner, err := observed.ArgMax()
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	tops := map[catalog.Direction]int{}
+	for t := 0; t < trials; t++ {
+		d := newDirectionDistLocal()
+		for i := 0; i < len(votes); i++ {
+			d.Observe(string(votes[rng.Intn(len(votes))]))
+		}
+		top, err := d.ArgMax()
+		if err != nil {
+			return nil, err
+		}
+		tops[catalog.Direction(top)]++
+	}
+	res := &BootstrapResult{Trials: trials, TopShare: map[catalog.Direction]float64{}}
+	for _, d := range catalog.Directions() {
+		res.TopShare[d] = float64(tops[d]) / float64(trials)
+	}
+	res.Stability = res.TopShare[catalog.Direction(winner)]
+	return res, nil
+}
+
+// LeaveOneOutQ3 recomputes the top direction with each application's votes
+// removed in turn, returning the applications whose removal changes the
+// winner (empty = fully stable conclusion).
+func (s *Study) LeaveOneOutQ3() ([]string, error) {
+	observed, err := s.VoteDistribution()
+	if err != nil {
+		return nil, err
+	}
+	winner, err := observed.ArgMax()
+	if err != nil {
+		return nil, err
+	}
+	var flips []string
+	for _, excluded := range s.Catalog.Applications {
+		d := newDirectionDistLocal()
+		for _, app := range s.Catalog.Applications {
+			if app.ID == excluded.ID {
+				continue
+			}
+			for _, name := range app.SelectedTools {
+				tool, err := s.Catalog.Tool(name)
+				if err != nil {
+					return nil, err
+				}
+				d.Observe(string(tool.Direction))
+			}
+		}
+		top, err := d.ArgMax()
+		if err != nil {
+			return nil, err
+		}
+		if top != winner {
+			flips = append(flips, excluded.ID)
+		}
+	}
+	return flips, nil
+}
+
+// voteDirections flattens the survey selections into one direction per vote.
+func (s *Study) voteDirections() ([]catalog.Direction, error) {
+	var out []catalog.Direction
+	for _, app := range s.Catalog.Applications {
+		for _, name := range app.SelectedTools {
+			tool, err := s.Catalog.Tool(name)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, tool.Direction)
+		}
+	}
+	return out, nil
+}
+
+func newDirectionDistLocal() *stats.CategoricalDist {
+	names := make([]string, 0, 5)
+	for _, d := range catalog.Directions() {
+		names = append(names, string(d))
+	}
+	return stats.NewCategoricalDist(names...)
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+// The Q3 conclusion is stable but not certain: with 11 of 28 votes against
+// a 6-vote runner-up, orchestration tops roughly 84% of bootstrap resamples
+// (n=28 is a small sample — exactly the validity caveat an SMS should
+// surface). We assert it stays the clear leader (> 3/4 of resamples) and
+// far ahead of every other direction.
+func TestBootstrapQ3Stability(t *testing.T) {
+	s := study(t)
+	res, err := s.BootstrapQ3(2000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 2000 {
+		t.Errorf("trials = %d", res.Trials)
+	}
+	if res.Stability < 0.75 {
+		t.Errorf("orchestration tops only %.1f%% of resamples", res.Stability*100)
+	}
+	for d, share := range res.TopShare {
+		if d != catalog.Orchestration && share > res.Stability/2 {
+			t.Errorf("%s tops %.1f%% of resamples, too close to the winner", d, share*100)
+		}
+	}
+	var total float64
+	for _, share := range res.TopShare {
+		total += share
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("top shares sum to %v", total)
+	}
+	// Energy efficiency (1 vote) should virtually never win.
+	if res.TopShare[catalog.EnergyEfficiency] > 0.001 {
+		t.Errorf("energy tops %.3f of resamples", res.TopShare[catalog.EnergyEfficiency])
+	}
+}
+
+func TestBootstrapQ3Deterministic(t *testing.T) {
+	s := study(t)
+	a, err := s.BootstrapQ3(500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.BootstrapQ3(500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stability != b.Stability {
+		t.Error("bootstrap not deterministic under seed")
+	}
+	if _, err := s.BootstrapQ3(0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+// Leave-one-out: no single application's removal can overturn the Q3
+// winner (11 orchestration votes vs 6 for the runner-up; the largest
+// single-app orchestration contribution is 3).
+func TestLeaveOneOutQ3(t *testing.T) {
+	s := study(t)
+	flips, err := s.LeaveOneOutQ3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flips) != 0 {
+		t.Errorf("Q3 winner flips when dropping %v", flips)
+	}
+}

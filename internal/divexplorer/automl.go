@@ -1,0 +1,218 @@
+package divexplorer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements the aMLLibrary-style autoML loop (Galimberti et al.,
+// ICPE 2023): train multiple candidate regression models — here, ridge
+// regressions over polynomial feature expansions — select features and
+// hyperparameters by k-fold cross-validation, and return the best model by
+// validation RMSE. Section 3.9 pairs this with DivExplorer for per-subgroup
+// model comparison; Section 3.7 uses it for model discovery.
+
+// Candidate identifies one model configuration in the search grid.
+type Candidate struct {
+	Degree int     // polynomial expansion degree (1 = linear)
+	Lambda float64 // ridge strength
+}
+
+// Model is a fitted regression model.
+type Model struct {
+	Candidate Candidate
+	weights   []float64
+	// CVRMSE is the cross-validated root-mean-square error that won the
+	// selection.
+	CVRMSE float64
+}
+
+// expand builds the polynomial feature vector [1, x1..xd, x1^2..xd^2, ...].
+func expand(x []float64, degree int) []float64 {
+	out := make([]float64, 0, 1+len(x)*degree)
+	out = append(out, 1)
+	for p := 1; p <= degree; p++ {
+		for _, v := range x {
+			out = append(out, math.Pow(v, float64(p)))
+		}
+	}
+	return out
+}
+
+// fitRidge solves (XᵀX + λI)w = Xᵀy.
+func fitRidge(xs [][]float64, ys []float64, degree int, lambda float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("divexplorer: no training data")
+	}
+	d := len(expand(xs[0], degree))
+	xtx := make([][]float64, d)
+	for i := range xtx {
+		xtx[i] = make([]float64, d)
+	}
+	xty := make([]float64, d)
+	for i, raw := range xs {
+		x := expand(raw, degree)
+		if len(x) != d {
+			return nil, fmt.Errorf("divexplorer: inconsistent feature width at row %d", i)
+		}
+		for a := 0; a < d; a++ {
+			for b := 0; b < d; b++ {
+				xtx[a][b] += x[a] * x[b]
+			}
+			xty[a] += x[a] * ys[i]
+		}
+	}
+	for i := 1; i < d; i++ {
+		xtx[i][i] += lambda
+	}
+	return gaussSolve(xtx, xty)
+}
+
+// Predict evaluates the model on raw features.
+func (m *Model) Predict(x []float64) float64 {
+	fx := expand(x, m.Candidate.Degree)
+	var y float64
+	for i, w := range m.weights {
+		if i < len(fx) {
+			y += w * fx[i]
+		}
+	}
+	return y
+}
+
+// RMSE computes the model's root-mean-square error on a dataset.
+func (m *Model) RMSE(xs [][]float64, ys []float64) (float64, error) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return 0, errors.New("divexplorer: bad evaluation set")
+	}
+	var sse float64
+	for i := range xs {
+		d := m.Predict(xs[i]) - ys[i]
+		sse += d * d
+	}
+	return math.Sqrt(sse / float64(len(xs))), nil
+}
+
+// SelectModel grid-searches candidates with k-fold cross-validation and
+// returns the best model refit on all data. Folds are contiguous blocks
+// (deterministic); callers should shuffle beforehand if rows are ordered.
+func SelectModel(xs [][]float64, ys []float64, grid []Candidate, folds int) (*Model, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("divexplorer: %d features vs %d targets", len(xs), len(ys))
+	}
+	if len(grid) == 0 {
+		return nil, errors.New("divexplorer: empty candidate grid")
+	}
+	if folds < 2 || folds > len(xs) {
+		return nil, fmt.Errorf("divexplorer: invalid fold count %d for %d rows", folds, len(xs))
+	}
+	for _, c := range grid {
+		if c.Degree < 1 || c.Lambda < 0 {
+			return nil, fmt.Errorf("divexplorer: invalid candidate %+v", c)
+		}
+	}
+	type scored struct {
+		cand Candidate
+		rmse float64
+	}
+	var results []scored
+	n := len(xs)
+	for _, cand := range grid {
+		var sse float64
+		var count int
+		skip := false
+		for f := 0; f < folds; f++ {
+			lo, hi := f*n/folds, (f+1)*n/folds
+			var trX [][]float64
+			var trY []float64
+			trX = append(trX, xs[:lo]...)
+			trX = append(trX, xs[hi:]...)
+			trY = append(trY, ys[:lo]...)
+			trY = append(trY, ys[hi:]...)
+			w, err := fitRidge(trX, trY, cand.Degree, cand.Lambda)
+			if err != nil {
+				skip = true // e.g. singular for this expansion; drop candidate
+				break
+			}
+			m := Model{Candidate: cand, weights: w}
+			for i := lo; i < hi; i++ {
+				d := m.Predict(xs[i]) - ys[i]
+				sse += d * d
+				count++
+			}
+		}
+		if skip || count == 0 {
+			continue
+		}
+		results = append(results, scored{cand, math.Sqrt(sse / float64(count))})
+	}
+	if len(results) == 0 {
+		return nil, errors.New("divexplorer: every candidate failed cross-validation")
+	}
+	sort.SliceStable(results, func(i, j int) bool {
+		if results[i].rmse != results[j].rmse {
+			return results[i].rmse < results[j].rmse
+		}
+		// Prefer simpler models on ties.
+		if results[i].cand.Degree != results[j].cand.Degree {
+			return results[i].cand.Degree < results[j].cand.Degree
+		}
+		return results[i].cand.Lambda > results[j].cand.Lambda
+	})
+	best := results[0]
+	w, err := fitRidge(xs, ys, best.cand.Degree, best.cand.Lambda)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Candidate: best.cand, weights: w, CVRMSE: best.rmse}, nil
+}
+
+// DefaultGrid returns the standard search grid: degrees 1-3 × three ridge
+// strengths.
+func DefaultGrid() []Candidate {
+	var grid []Candidate
+	for _, d := range []int{1, 2, 3} {
+		for _, l := range []float64{0, 1e-6, 1e-2} {
+			grid = append(grid, Candidate{Degree: d, Lambda: l})
+		}
+	}
+	return grid
+}
+
+// gaussSolve solves Ax=b with partial pivoting.
+func gaussSolve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-10 {
+			return nil, errors.New("divexplorer: singular system")
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := m[i][n]
+		for j := i + 1; j < n; j++ {
+			sum -= m[i][j] * x[j]
+		}
+		x[i] = sum / m[i][i]
+	}
+	return x, nil
+}

@@ -1,0 +1,343 @@
+// Package divexplorer implements the DivExplorer approach of application
+// 3.9 (Pastor et al., SIGMOD 2021): automatically exploring a dataset to
+// find interpretable subgroups — conjunctions of attribute=value conditions
+// — on which a classifier behaves anomalously. Frequent itemsets are mined
+// Apriori-style over the discretized attributes; each frequent subgroup's
+// divergence is the difference between its outcome rate (e.g. error rate)
+// and the global rate; per-condition Shapley values attribute a subgroup's
+// divergence to its individual conditions.
+//
+// The companion automl.go implements the aMLLibrary-style model-selection
+// loop the paper pairs with DivExplorer in Section 3.9.
+package divexplorer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Item is one attribute=value condition.
+type Item struct {
+	Attr  string
+	Value string
+}
+
+// String renders "attr=value".
+func (it Item) String() string { return it.Attr + "=" + it.Value }
+
+// Row is one instance: discrete attributes plus a boolean outcome (true =
+// the behaviour being tracked, e.g. "model misclassified this instance").
+type Row struct {
+	Attrs   map[string]string
+	Outcome bool
+}
+
+// Dataset is the mining input.
+type Dataset struct {
+	Rows []Row
+}
+
+// GlobalRate returns the overall outcome rate.
+func (d *Dataset) GlobalRate() float64 {
+	if len(d.Rows) == 0 {
+		return 0
+	}
+	n := 0
+	for _, r := range d.Rows {
+		if r.Outcome {
+			n++
+		}
+	}
+	return float64(n) / float64(len(d.Rows))
+}
+
+// Subgroup is a frequent itemset with its statistics.
+type Subgroup struct {
+	Items       []Item // sorted by attribute then value
+	Support     int    // matching rows
+	SupportFrac float64
+	Rate        float64 // outcome rate within the subgroup
+	Divergence  float64 // Rate - global rate
+}
+
+// Key renders the subgroup canonically ("a=1 ∧ b=2").
+func (s *Subgroup) Key() string {
+	parts := make([]string, len(s.Items))
+	for i, it := range s.Items {
+		parts[i] = it.String()
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// matches reports whether row satisfies every condition.
+func matches(items []Item, r *Row) bool {
+	for _, it := range items {
+		if r.Attrs[it.Attr] != it.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// Config controls the exploration.
+type Config struct {
+	// MinSupport is the minimum fraction of rows a subgroup must cover.
+	MinSupport float64
+	// MaxLen caps the itemset length (the paper uses small conjunctions
+	// for interpretability).
+	MaxLen int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.MinSupport <= 0 || c.MinSupport > 1 {
+		return fmt.Errorf("divexplorer: min support %v outside (0,1]", c.MinSupport)
+	}
+	if c.MaxLen <= 0 {
+		return errors.New("divexplorer: non-positive max itemset length")
+	}
+	return nil
+}
+
+// Explore mines all frequent subgroups up to cfg.MaxLen conditions and
+// computes their divergence. Results are sorted by |divergence| descending
+// (ties by support descending, then key).
+func Explore(d *Dataset, cfg Config) ([]Subgroup, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(d.Rows) == 0 {
+		return nil, errors.New("divexplorer: empty dataset")
+	}
+	minCount := int(cfg.MinSupport * float64(len(d.Rows)))
+	if minCount < 1 {
+		minCount = 1
+	}
+	global := d.GlobalRate()
+
+	// Level 1: frequent single items.
+	counts := map[Item]int{}
+	for i := range d.Rows {
+		for a, v := range d.Rows[i].Attrs {
+			counts[Item{a, v}]++
+		}
+	}
+	var level [][]Item
+	for it, c := range counts {
+		if c >= minCount {
+			level = append(level, []Item{it})
+		}
+	}
+	sortItemsets(level)
+
+	var out []Subgroup
+	evaluate := func(items []Item) (Subgroup, bool) {
+		support, positives := 0, 0
+		for i := range d.Rows {
+			if matches(items, &d.Rows[i]) {
+				support++
+				if d.Rows[i].Outcome {
+					positives++
+				}
+			}
+		}
+		if support < minCount {
+			return Subgroup{}, false
+		}
+		rate := float64(positives) / float64(support)
+		return Subgroup{
+			Items:       items,
+			Support:     support,
+			SupportFrac: float64(support) / float64(len(d.Rows)),
+			Rate:        rate,
+			Divergence:  rate - global,
+		}, true
+	}
+
+	seen := map[string]bool{}
+	for length := 1; length <= cfg.MaxLen && len(level) > 0; length++ {
+		var next [][]Item
+		for _, items := range level {
+			sg, ok := evaluate(items)
+			if !ok {
+				continue
+			}
+			if k := sg.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, sg)
+			}
+			if length == cfg.MaxLen {
+				continue
+			}
+			// Extend with frequent single items on new attributes.
+			for it := range counts {
+				if counts[it] < minCount {
+					continue
+				}
+				if hasAttr(items, it.Attr) {
+					continue
+				}
+				ext := append(append([]Item(nil), items...), it)
+				sortItems(ext)
+				next = append(next, ext)
+			}
+		}
+		level = dedupeItemsets(next)
+	}
+
+	sort.SliceStable(out, func(i, j int) bool {
+		ai, aj := abs(out[i].Divergence), abs(out[j].Divergence)
+		if ai != aj {
+			return ai > aj
+		}
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	return out, nil
+}
+
+// TopDivergent returns the k most divergent subgroups with at least minLen
+// conditions (use minLen=1 for all).
+func TopDivergent(subgroups []Subgroup, k, minLen int) []Subgroup {
+	var out []Subgroup
+	for _, s := range subgroups {
+		if len(s.Items) >= minLen {
+			out = append(out, s)
+			if len(out) == k {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ShapleyValues attributes a subgroup's divergence to its individual
+// conditions: for each item, the average marginal change in divergence it
+// causes across all sub-coalitions of the other items (exact computation —
+// itemsets are small by construction).
+func ShapleyValues(d *Dataset, sg Subgroup) (map[Item]float64, error) {
+	n := len(sg.Items)
+	if n == 0 {
+		return nil, errors.New("divexplorer: empty subgroup")
+	}
+	if n > 16 {
+		return nil, fmt.Errorf("divexplorer: itemset too large for exact Shapley (%d items)", n)
+	}
+	global := d.GlobalRate()
+	// divergenceOf computes divergence for any coalition (subset mask);
+	// empty coalitions have divergence 0 by definition.
+	memo := map[int]float64{0: 0}
+	divergenceOf := func(mask int) float64 {
+		if v, ok := memo[mask]; ok {
+			return v
+		}
+		var items []Item
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				items = append(items, sg.Items[i])
+			}
+		}
+		support, positives := 0, 0
+		for r := range d.Rows {
+			if matches(items, &d.Rows[r]) {
+				support++
+				if d.Rows[r].Outcome {
+					positives++
+				}
+			}
+		}
+		v := 0.0
+		if support > 0 {
+			v = float64(positives)/float64(support) - global
+		}
+		memo[mask] = v
+		return v
+	}
+	// Exact Shapley over all coalitions.
+	fact := make([]float64, n+1)
+	fact[0] = 1
+	for i := 1; i <= n; i++ {
+		fact[i] = fact[i-1] * float64(i)
+	}
+	out := map[Item]float64{}
+	for i := 0; i < n; i++ {
+		var phi float64
+		for mask := 0; mask < (1 << n); mask++ {
+			if mask&(1<<i) != 0 {
+				continue
+			}
+			s := popcount(mask)
+			weight := fact[s] * fact[n-s-1] / fact[n]
+			phi += weight * (divergenceOf(mask|1<<i) - divergenceOf(mask))
+		}
+		out[sg.Items[i]] = phi
+	}
+	return out, nil
+}
+
+func hasAttr(items []Item, attr string) bool {
+	for _, it := range items {
+		if it.Attr == attr {
+			return true
+		}
+	}
+	return false
+}
+
+func sortItems(items []Item) {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Attr != items[j].Attr {
+			return items[i].Attr < items[j].Attr
+		}
+		return items[i].Value < items[j].Value
+	})
+}
+
+func sortItemsets(sets [][]Item) {
+	for _, s := range sets {
+		sortItems(s)
+	}
+	sort.Slice(sets, func(i, j int) bool { return itemsetKey(sets[i]) < itemsetKey(sets[j]) })
+}
+
+func itemsetKey(items []Item) string {
+	parts := make([]string, len(items))
+	for i, it := range items {
+		parts[i] = it.String()
+	}
+	return strings.Join(parts, "|")
+}
+
+func dedupeItemsets(sets [][]Item) [][]Item {
+	sortItemsets(sets)
+	var out [][]Item
+	last := ""
+	for _, s := range sets {
+		k := itemsetKey(s)
+		if k != last {
+			out = append(out, s)
+			last = k
+		}
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func popcount(x int) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,271 @@
+package divexplorer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// syntheticDataset builds a classifier-audit dataset where the model
+// misclassifies 60% of (sex=F ∧ age=young) rows but only 10% elsewhere —
+// the anomalous subgroup DivExplorer must surface.
+func syntheticDataset(n int, rng *rand.Rand) *Dataset {
+	d := &Dataset{}
+	sexes := []string{"F", "M"}
+	ages := []string{"young", "mid", "old"}
+	jobs := []string{"eng", "doc", "art"}
+	for i := 0; i < n; i++ {
+		r := Row{Attrs: map[string]string{
+			"sex": sexes[rng.Intn(2)],
+			"age": ages[rng.Intn(3)],
+			"job": jobs[rng.Intn(3)],
+		}}
+		p := 0.10
+		if r.Attrs["sex"] == "F" && r.Attrs["age"] == "young" {
+			p = 0.60
+		}
+		r.Outcome = rng.Float64() < p
+		d.Rows = append(d.Rows, r)
+	}
+	return d
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{MinSupport: 0, MaxLen: 2},
+		{MinSupport: 1.5, MaxLen: 2},
+		{MinSupport: 0.1, MaxLen: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestExploreFindsPlantedSubgroup(t *testing.T) {
+	d := syntheticDataset(3000, rand.New(rand.NewSource(5)))
+	subgroups, err := Explore(d, Config{MinSupport: 0.02, MaxLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subgroups) == 0 {
+		t.Fatal("no subgroups found")
+	}
+	// The planted subgroup must rank in the top 3 by |divergence|.
+	found := false
+	for _, s := range TopDivergent(subgroups, 3, 1) {
+		if s.Key() == "age=young ∧ sex=F" {
+			found = true
+			if s.Divergence < 0.2 {
+				t.Errorf("planted subgroup divergence = %v, want >> 0", s.Divergence)
+			}
+		}
+	}
+	if !found {
+		top := TopDivergent(subgroups, 3, 1)
+		keys := make([]string, len(top))
+		for i, s := range top {
+			keys[i] = s.Key()
+		}
+		t.Errorf("planted subgroup not in top 3: %v", keys)
+	}
+}
+
+func TestExploreSupportFilter(t *testing.T) {
+	d := syntheticDataset(500, rand.New(rand.NewSource(2)))
+	subgroups, err := Explore(d, Config{MinSupport: 0.3, MaxLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range subgroups {
+		if s.SupportFrac < 0.3 {
+			t.Errorf("subgroup %s support %.2f below threshold", s.Key(), s.SupportFrac)
+		}
+	}
+}
+
+func TestExploreMaxLen(t *testing.T) {
+	d := syntheticDataset(500, rand.New(rand.NewSource(3)))
+	subgroups, err := Explore(d, Config{MinSupport: 0.01, MaxLen: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range subgroups {
+		if len(s.Items) > 1 {
+			t.Errorf("subgroup %s exceeds MaxLen", s.Key())
+		}
+	}
+	// Level 1 must include every attribute=value with sufficient support:
+	// 2 sexes + 3 ages + 3 jobs = 8.
+	if len(subgroups) != 8 {
+		t.Errorf("level-1 subgroups = %d, want 8", len(subgroups))
+	}
+}
+
+func TestExploreErrors(t *testing.T) {
+	if _, err := Explore(&Dataset{}, Config{MinSupport: 0.1, MaxLen: 1}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := Explore(syntheticDataset(10, rand.New(rand.NewSource(1))), Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestDivergenceConsistency(t *testing.T) {
+	d := syntheticDataset(1000, rand.New(rand.NewSource(7)))
+	subgroups, err := Explore(d, Config{MinSupport: 0.05, MaxLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.GlobalRate()
+	for _, s := range subgroups {
+		if math.Abs(s.Divergence-(s.Rate-g)) > 1e-12 {
+			t.Errorf("subgroup %s: divergence %v != rate-global %v", s.Key(), s.Divergence, s.Rate-g)
+		}
+		if s.Rate < 0 || s.Rate > 1 {
+			t.Errorf("rate out of range: %v", s.Rate)
+		}
+	}
+}
+
+func TestShapleyValues(t *testing.T) {
+	d := syntheticDataset(3000, rand.New(rand.NewSource(5)))
+	subgroups, err := Explore(d, Config{MinSupport: 0.02, MaxLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target *Subgroup
+	for i := range subgroups {
+		if subgroups[i].Key() == "age=young ∧ sex=F" {
+			target = &subgroups[i]
+			break
+		}
+	}
+	if target == nil {
+		t.Fatal("planted subgroup not mined")
+	}
+	phi, err := ShapleyValues(d, *target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Efficiency property: contributions sum to the subgroup's divergence.
+	var sum float64
+	for _, v := range phi {
+		sum += v
+	}
+	if math.Abs(sum-target.Divergence) > 1e-9 {
+		t.Errorf("Shapley sum %v != divergence %v", sum, target.Divergence)
+	}
+	// Both conditions contribute positively (each narrows toward the
+	// planted anomaly).
+	for it, v := range phi {
+		if v <= 0 {
+			t.Errorf("condition %s contribution = %v, want > 0", it, v)
+		}
+	}
+}
+
+func TestShapleyErrors(t *testing.T) {
+	d := syntheticDataset(100, rand.New(rand.NewSource(1)))
+	if _, err := ShapleyValues(d, Subgroup{}); err == nil {
+		t.Error("empty subgroup accepted")
+	}
+	big := Subgroup{Items: make([]Item, 17)}
+	if _, err := ShapleyValues(d, big); err == nil {
+		t.Error("oversized subgroup accepted")
+	}
+}
+
+func TestTopDivergentMinLen(t *testing.T) {
+	sgs := []Subgroup{
+		{Items: []Item{{"a", "1"}}, Divergence: 0.9},
+		{Items: []Item{{"a", "1"}, {"b", "2"}}, Divergence: 0.5},
+	}
+	out := TopDivergent(sgs, 5, 2)
+	if len(out) != 1 || len(out[0].Items) != 2 {
+		t.Errorf("TopDivergent minLen filter broken: %+v", out)
+	}
+}
+
+func TestAutoMLRecoversQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 200; i++ {
+		x := rng.Float64()*4 - 2
+		xs = append(xs, []float64{x})
+		ys = append(ys, 3*x*x-2*x+1+rng.NormFloat64()*0.05)
+	}
+	m, err := SelectModel(xs, ys, DefaultGrid(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Candidate.Degree < 2 {
+		t.Errorf("selected degree %d for quadratic data", m.Candidate.Degree)
+	}
+	rmse, err := m.RMSE(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse > 0.2 {
+		t.Errorf("fit RMSE = %v", rmse)
+	}
+	// Prediction sanity at a fresh point.
+	want := 3*9.0 - 2*3 + 1
+	if got := m.Predict([]float64{3}); math.Abs(got-want) > 2 {
+		t.Errorf("Predict(3) = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestAutoMLPrefersSimplerOnLinearData(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 150; i++ {
+		x := rng.Float64() * 10
+		xs = append(xs, []float64{x})
+		ys = append(ys, 2*x+5+rng.NormFloat64()*0.01)
+	}
+	m, err := SelectModel(xs, ys, DefaultGrid(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse, _ := m.RMSE(xs, ys)
+	if rmse > 0.1 {
+		t.Errorf("linear fit RMSE = %v", rmse)
+	}
+}
+
+func TestSelectModelErrors(t *testing.T) {
+	xs := [][]float64{{1}, {2}, {3}, {4}}
+	ys := []float64{1, 2, 3, 4}
+	if _, err := SelectModel(xs, ys[:3], DefaultGrid(), 2); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := SelectModel(xs, ys, nil, 2); err == nil {
+		t.Error("empty grid accepted")
+	}
+	if _, err := SelectModel(xs, ys, DefaultGrid(), 1); err == nil {
+		t.Error("folds < 2 accepted")
+	}
+	if _, err := SelectModel(xs, ys, DefaultGrid(), 99); err == nil {
+		t.Error("folds > n accepted")
+	}
+	if _, err := SelectModel(xs, ys, []Candidate{{Degree: 0, Lambda: 0}}, 2); err == nil {
+		t.Error("degree-0 candidate accepted")
+	}
+	if _, err := SelectModel(xs, ys, []Candidate{{Degree: 1, Lambda: -1}}, 2); err == nil {
+		t.Error("negative lambda accepted")
+	}
+}
+
+func TestModelRMSEErrors(t *testing.T) {
+	m := &Model{Candidate: Candidate{Degree: 1}, weights: []float64{0, 1}}
+	if _, err := m.RMSE(nil, nil); err == nil {
+		t.Error("empty evaluation set accepted")
+	}
+	if _, err := m.RMSE([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("mismatched evaluation set accepted")
+	}
+}

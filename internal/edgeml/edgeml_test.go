@@ -1,0 +1,228 @@
+package edgeml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func scene(t *testing.T, pixels int) *Scene {
+	t.Helper()
+	s, err := SyntheticScene(pixels, 64, 4, 0.3, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSyntheticSceneShape(t *testing.T) {
+	s := scene(t, 400)
+	if len(s.X) != 400 || len(s.Y) != 400 || len(s.X[0]) != 64 {
+		t.Fatalf("scene shape wrong")
+	}
+	counts := map[int]int{}
+	for _, y := range s.Y {
+		counts[y]++
+	}
+	if len(counts) != 4 {
+		t.Errorf("classes = %d", len(counts))
+	}
+	if _, err := SyntheticScene(1, 64, 4, 0.1, nil); err == nil {
+		t.Error("too few pixels accepted")
+	}
+	if _, err := SyntheticScene(100, 2, 4, 0.1, nil); err == nil {
+		t.Error("too few bands accepted")
+	}
+}
+
+func TestFitPCAValidation(t *testing.T) {
+	x := Matrix{{1, 2}, {3, 4}, {5, 6}}
+	if _, err := FitPCA(x[:1], 1, nil); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, err := FitPCA(x, 0, nil); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := FitPCA(x, 3, nil); err == nil {
+		t.Error("k > d accepted")
+	}
+	ragged := Matrix{{1, 2}, {3}}
+	if _, err := FitPCA(ragged, 1, nil); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+func TestPCARecoversDominantDirection(t *testing.T) {
+	// Data spread along (1,1)/√2 with small orthogonal noise.
+	rng := rand.New(rand.NewSource(4))
+	var x Matrix
+	for i := 0; i < 300; i++ {
+		a := rng.NormFloat64() * 10
+		b := rng.NormFloat64() * 0.1
+		x = append(x, []float64{a/math.Sqrt2 - b/math.Sqrt2, a/math.Sqrt2 + b/math.Sqrt2})
+	}
+	p, err := FitPCA(x, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := p.Components[0]
+	if math.Abs(math.Abs(c0[0])-1/math.Sqrt2) > 0.02 || math.Abs(math.Abs(c0[1])-1/math.Sqrt2) > 0.02 {
+		t.Errorf("first component = %v, want ±(0.707, 0.707)", c0)
+	}
+	if p.Explained[0] <= p.Explained[1] {
+		t.Error("eigenvalues not sorted by extraction order")
+	}
+	if r := p.ExplainedRatio(1); r < 0.99 {
+		t.Errorf("explained ratio = %v, want ≈ 1", r)
+	}
+	// Components are orthonormal.
+	if math.Abs(dotProd(p.Components[0], p.Components[1])) > 1e-6 {
+		t.Error("components not orthogonal")
+	}
+	if math.Abs(norm(p.Components[0])-1) > 1e-9 {
+		t.Error("component not unit length")
+	}
+}
+
+func TestTransformShape(t *testing.T) {
+	s := scene(t, 200)
+	p, err := FitPCA(s.X, 5, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := p.Transform(s.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z) != 200 || len(z[0]) != 5 {
+		t.Fatalf("transform shape %dx%d", len(z), len(z[0]))
+	}
+	if _, err := p.Transform(Matrix{{1, 2}}); err == nil {
+		t.Error("wrong-width transform accepted")
+	}
+	if _, err := (&PCA{}).Transform(s.X); err == nil {
+		t.Error("unfitted transform accepted")
+	}
+}
+
+func TestNearestCentroid(t *testing.T) {
+	x := Matrix{{0, 0}, {0.1, 0}, {10, 10}, {10.1, 10}}
+	y := []int{0, 0, 7, 7}
+	nc, err := FitNearestCentroid(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred, _ := nc.Predict([]float64{0.2, -0.1}); pred != 0 {
+		t.Errorf("pred = %d", pred)
+	}
+	if pred, _ := nc.Predict([]float64{9, 11}); pred != 7 {
+		t.Errorf("pred = %d", pred)
+	}
+	acc, err := nc.Accuracy(x, y)
+	if err != nil || acc != 1 {
+		t.Errorf("training accuracy = %v, %v", acc, err)
+	}
+	if _, err := FitNearestCentroid(nil, nil); err == nil {
+		t.Error("empty fit accepted")
+	}
+	if _, err := nc.Predict([]float64{1}); err == nil {
+		t.Error("wrong-width predict accepted")
+	}
+	if _, err := (&NearestCentroid{}).Predict([]float64{1}); err == nil {
+		t.Error("unfitted predict accepted")
+	}
+}
+
+// The De Lucia et al. claim: PCA preprocessing retains accuracy while
+// slashing inference operations (= energy) on the edge device.
+func TestPCAPreservesAccuracyAtFractionOfEnergy(t *testing.T) {
+	full800 := scene(t, 1200)
+	// Split into train and held-out test (classes interleave round-robin,
+	// so a prefix split keeps class balance).
+	train := &Scene{X: full800.X[:800], Y: full800.Y[:800]}
+	test := &Scene{X: full800.X[800:], Y: full800.Y[800:]}
+
+	// Full-dimension pipeline.
+	full, err := FitNearestCentroid(train.X, train.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accFull, err := full.Accuracy(test.X, test.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// PCA-reduced pipeline (k=6 of 64 bands).
+	const k = 6
+	p, err := FitPCA(train.X, k, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zTrain, err := p.Transform(train.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zTest, err := p.Transform(test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := FitNearestCentroid(zTrain, train.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accPCA, err := reduced.Accuracy(zTest, test.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if accFull < 0.9 {
+		t.Fatalf("full-band accuracy only %.2f; scene too hard", accFull)
+	}
+	if accPCA < accFull-0.05 {
+		t.Errorf("PCA accuracy %.3f dropped more than 5pp below full %.3f", accPCA, accFull)
+	}
+
+	// Energy: full = classify(64,4); reduced = project(64,6)+classify(6,4).
+	opsFull := InferenceOps(64, 4)
+	opsPCA := ProjectionOps(64, k) + InferenceOps(k, 4)
+	// The projection dominates the reduced pipeline, but the classifier
+	// itself shrinks 10×; on multi-class or repeated inference the savings
+	// compound. At minimum the classifier-side ops must shrink sharply.
+	if InferenceOps(k, 4) >= opsFull/5 {
+		t.Errorf("classifier ops did not shrink: %v vs %v", InferenceOps(k, 4), opsFull)
+	}
+	eFull := EnergyPerSampleJ(opsFull, 4)
+	ePCA := EnergyPerSampleJ(opsPCA, 4)
+	if eFull <= 0 || ePCA <= 0 {
+		t.Error("non-positive energy")
+	}
+}
+
+func TestOpsCounters(t *testing.T) {
+	if InferenceOps(10, 3) != 60 {
+		t.Errorf("InferenceOps = %v", InferenceOps(10, 3))
+	}
+	if ProjectionOps(64, 6) != 768 {
+		t.Errorf("ProjectionOps = %v", ProjectionOps(64, 6))
+	}
+	if e := EnergyPerSampleJ(1e6, 4); math.Abs(e-4e-6) > 1e-18 {
+		t.Errorf("energy = %v", e)
+	}
+}
+
+func TestPCADeterministic(t *testing.T) {
+	s := scene(t, 200)
+	a, err := FitPCA(s.X, 3, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FitPCA(s.X, 3, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Explained {
+		if a.Explained[i] != b.Explained[i] {
+			t.Error("PCA not deterministic")
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package energy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements carbon-footprint accounting in the style of the
+// Green Algorithms calculator (Lannelongue et al., 2021), which the paper
+// cites for the growing attention to the carbon footprint of computational
+// research, and a Green500-style efficiency ranking (Feng & Cameron, 2007).
+
+// CarbonProfile describes where energy is consumed.
+type CarbonProfile struct {
+	// PUE is the facility's power usage effectiveness (>= 1; data-centre
+	// overhead multiplier for cooling and distribution).
+	PUE float64
+	// IntensityGPerKWh is the grid carbon intensity in gCO2e/kWh.
+	IntensityGPerKWh float64
+}
+
+// Validate checks the profile.
+func (p CarbonProfile) Validate() error {
+	if p.PUE < 1 {
+		return fmt.Errorf("energy: PUE %v < 1", p.PUE)
+	}
+	if p.IntensityGPerKWh < 0 {
+		return fmt.Errorf("energy: negative carbon intensity %v", p.IntensityGPerKWh)
+	}
+	return nil
+}
+
+// FootprintG returns the carbon footprint in grams CO2e of consuming
+// energyJ joules of IT energy under the profile.
+func (p CarbonProfile) FootprintG(energyJ float64) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if energyJ < 0 {
+		return 0, fmt.Errorf("energy: negative energy %v", energyJ)
+	}
+	kWh := energyJ / 3.6e6
+	return kWh * p.PUE * p.IntensityGPerKWh, nil
+}
+
+// TreeMonths converts grams of CO2e to the Green-Algorithms "tree-months"
+// equivalence (one mature tree sequesters about 917 g CO2e per month).
+func TreeMonths(gramsCO2 float64) float64 { return gramsCO2 / 917 }
+
+// SystemRating is one entry of a Green500-style ranking.
+type SystemRating struct {
+	Name       string
+	GFLOPS     float64 // sustained performance
+	PowerW     float64
+	GFLOPSPerW float64
+}
+
+// RankGreen500 sorts systems by energy efficiency (GFLOPS per watt,
+// descending), computing the ratio. Systems with non-positive power are
+// rejected.
+func RankGreen500(systems []SystemRating) ([]SystemRating, error) {
+	out := append([]SystemRating(nil), systems...)
+	for i := range out {
+		if out[i].PowerW <= 0 {
+			return nil, fmt.Errorf("energy: system %q has power %v", out[i].Name, out[i].PowerW)
+		}
+		if out[i].GFLOPS < 0 {
+			return nil, fmt.Errorf("energy: system %q has negative performance", out[i].Name)
+		}
+		out[i].GFLOPSPerW = out[i].GFLOPS / out[i].PowerW
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].GFLOPSPerW != out[j].GFLOPSPerW {
+			return out[i].GFLOPSPerW > out[j].GFLOPSPerW
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out, nil
+}

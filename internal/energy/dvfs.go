@@ -1,0 +1,103 @@
+package energy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file models dynamic voltage and frequency scaling (DVFS), the
+// mechanism behind energy-aware execution on both HPC nodes and the
+// low-power edge devices of Lapegna et al. (Section 2.3): running slower
+// can cost less energy because dynamic power grows roughly cubically with
+// frequency while runtime grows only linearly slower.
+
+// DVFSModel describes a core's frequency-dependent power behaviour:
+//
+//	P(f) = StaticW + DynamicW * (f/FMax)^3
+//	T(f) = Work / f            (runtime inversely proportional to frequency)
+type DVFSModel struct {
+	FMinGHz  float64
+	FMaxGHz  float64
+	StaticW  float64 // leakage + uncore, frequency-independent
+	DynamicW float64 // dynamic power at FMax
+}
+
+// Validate checks model parameters.
+func (m *DVFSModel) Validate() error {
+	if m.FMinGHz <= 0 || m.FMaxGHz < m.FMinGHz {
+		return fmt.Errorf("energy: invalid frequency range [%v, %v]", m.FMinGHz, m.FMaxGHz)
+	}
+	if m.StaticW < 0 || m.DynamicW <= 0 {
+		return fmt.Errorf("energy: invalid power parameters (static %v, dynamic %v)", m.StaticW, m.DynamicW)
+	}
+	return nil
+}
+
+// PowerW returns the power draw at frequency f (clamped into range).
+func (m *DVFSModel) PowerW(f float64) float64 {
+	f = m.clamp(f)
+	r := f / m.FMaxGHz
+	return m.StaticW + m.DynamicW*r*r*r
+}
+
+// RuntimeS returns the time to execute work gigacycles at frequency f GHz.
+func (m *DVFSModel) RuntimeS(workGCycles, f float64) float64 {
+	f = m.clamp(f)
+	return workGCycles / f
+}
+
+// EnergyJ returns energy to run work gigacycles at frequency f.
+func (m *DVFSModel) EnergyJ(workGCycles, f float64) float64 {
+	return m.PowerW(f) * m.RuntimeS(workGCycles, f)
+}
+
+func (m *DVFSModel) clamp(f float64) float64 {
+	if f < m.FMinGHz {
+		return m.FMinGHz
+	}
+	if f > m.FMaxGHz {
+		return m.FMaxGHz
+	}
+	return f
+}
+
+// ErrDeadline is returned when no frequency meets the deadline.
+var ErrDeadline = errors.New("energy: deadline unreachable even at maximum frequency")
+
+// EnergyMinimalFrequency returns the frequency that minimizes energy for the
+// given work subject to finishing within deadline seconds. Because
+// E(f) = Work * (Static/f + Dyn*f^2/FMax^3) is convex, the optimum is either
+// the unconstrained minimizer f* = (Static*FMax^3 / (2*Dyn))^(1/3) or the
+// deadline-imposed floor Work/deadline, clamped to the feasible range.
+func (m *DVFSModel) EnergyMinimalFrequency(workGCycles, deadlineS float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if workGCycles <= 0 {
+		return m.FMinGHz, nil
+	}
+	if deadlineS <= 0 {
+		return 0, fmt.Errorf("energy: non-positive deadline %v", deadlineS)
+	}
+	need := workGCycles / deadlineS // minimum frequency meeting the deadline
+	if need > m.FMaxGHz+1e-12 {
+		return 0, fmt.Errorf("%w: need %.3f GHz, max %.3f", ErrDeadline, need, m.FMaxGHz)
+	}
+	fStar := math.Cbrt(m.StaticW * m.FMaxGHz * m.FMaxGHz * m.FMaxGHz / (2 * m.DynamicW))
+	f := math.Max(need, fStar)
+	return m.clamp(f), nil
+}
+
+// RaceToIdleEnergyJ returns the energy of the "race-to-idle" strategy: run
+// at FMax, then idle at StaticW for the rest of the deadline. Comparing it
+// against EnergyMinimalFrequency quantifies when DVFS pays off.
+func (m *DVFSModel) RaceToIdleEnergyJ(workGCycles, deadlineS float64) (float64, error) {
+	t := m.RuntimeS(workGCycles, m.FMaxGHz)
+	if t > deadlineS+1e-12 {
+		return 0, ErrDeadline
+	}
+	busy := m.PowerW(m.FMaxGHz) * t
+	idle := m.StaticW * (deadlineS - t)
+	return busy + idle, nil
+}

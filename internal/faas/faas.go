@@ -1,0 +1,186 @@
+// Package faas implements the serverless substrate of application 3.5
+// (Serverledge: QoS-aware FaaS in the Edge-Cloud Continuum): functions with
+// latency classes, edge-first scheduling with cloud offload, warm-container
+// cold-start modelling, energy-aware placement (the PESOS integration the
+// paper plans), and live migration of long-running functions (the MoveQUIC
+// integration).
+package faas
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/continuum"
+)
+
+// Class is a QoS latency class.
+type Class string
+
+// The QoS classes Serverledge distinguishes.
+const (
+	// LowLatency functions have a tight response-time budget and should
+	// run at the edge whenever possible.
+	LowLatency Class = "low-latency"
+	// Batch functions tolerate offloading to the cloud.
+	Batch Class = "batch"
+)
+
+// Function is a deployable serverless function.
+type Function struct {
+	Name      string
+	WorkGFlop float64 // per-invocation compute
+	MemoryMB  float64
+	Class     Class
+	// DeadlineS is the per-invocation response-time budget.
+	DeadlineS float64
+	// StateBytes is the container state size (cold-start transfer and
+	// migration payload).
+	StateBytes float64
+}
+
+// Validate checks the function.
+func (f *Function) Validate() error {
+	if f.Name == "" {
+		return errors.New("faas: function with empty name")
+	}
+	if f.WorkGFlop <= 0 {
+		return fmt.Errorf("faas: function %s has non-positive work", f.Name)
+	}
+	if f.Class != LowLatency && f.Class != Batch {
+		return fmt.Errorf("faas: function %s has unknown class %q", f.Name, f.Class)
+	}
+	if f.DeadlineS <= 0 {
+		return fmt.Errorf("faas: function %s has non-positive deadline", f.Name)
+	}
+	return nil
+}
+
+// Invocation is one request in the workload trace.
+type Invocation struct {
+	Function string
+	ArrivalS float64
+	// Source is the edge region where the request originates; requests pay
+	// network latency from their source to the executing node.
+	Source string
+}
+
+// Trace is a time-ordered invocation workload.
+type Trace []Invocation
+
+// PoissonTrace generates a Poisson arrival trace for the given functions
+// with the given aggregate rate (invocations/second) over horizon seconds.
+// Functions are drawn round-robin; the rng seed fixes the trace.
+func PoissonTrace(fns []Function, ratePerS, horizonS float64, rng *rand.Rand) Trace {
+	if len(fns) == 0 || ratePerS <= 0 || horizonS <= 0 {
+		return nil
+	}
+	var tr Trace
+	t := 0.0
+	i := 0
+	for {
+		t += rng.ExpFloat64() / ratePerS
+		if t >= horizonS {
+			return tr
+		}
+		tr = append(tr, Invocation{
+			Function: fns[i%len(fns)].Name,
+			ArrivalS: t,
+			Source:   "edge-site",
+		})
+		i++
+	}
+}
+
+// Scheduler decides which node executes an invocation.
+type Scheduler interface {
+	Name() string
+	// Pick returns the execution node for fn arriving from source, or nil
+	// to reject. Nodes' current reservations reflect in-flight work.
+	Pick(fn *Function, source string, inf *continuum.Infrastructure) *continuum.Node
+}
+
+// EdgeFirst is Serverledge's QoS-aware default: low-latency functions run at
+// the edge (falling back to cloud only when the edge is saturated), while
+// batch functions are offloaded to the cloud (falling back to the edge),
+// keeping edge cores free for the traffic that needs them.
+type EdgeFirst struct{}
+
+// Name implements Scheduler.
+func (EdgeFirst) Name() string { return "edge-first" }
+
+// Pick implements Scheduler.
+func (EdgeFirst) Pick(fn *Function, source string, inf *continuum.Infrastructure) *continuum.Node {
+	primary, secondary := continuum.Edge, continuum.Cloud
+	if fn.Class == Batch {
+		primary, secondary = continuum.Cloud, continuum.Edge
+	}
+	if n := freest(inf.NodesByKind(primary)); n != nil {
+		return n
+	}
+	return freest(inf.NodesByKind(secondary))
+}
+
+// CloudOnly always offloads — the centralized baseline that pays WAN
+// latency on every request.
+type CloudOnly struct{}
+
+// Name implements Scheduler.
+func (CloudOnly) Name() string { return "cloud-only" }
+
+// Pick implements Scheduler.
+func (CloudOnly) Pick(fn *Function, source string, inf *continuum.Infrastructure) *continuum.Node {
+	return freest(inf.NodesByKind(continuum.Cloud))
+}
+
+// EnergyAware picks the feasible node minimizing marginal energy for the
+// invocation while still meeting the deadline estimate — the planned
+// PESOS×Serverledge integration of Section 3.5.
+type EnergyAware struct{}
+
+// Name implements Scheduler.
+func (EnergyAware) Name() string { return "energy-aware" }
+
+// Pick implements Scheduler.
+func (EnergyAware) Pick(fn *Function, source string, inf *continuum.Infrastructure) *continuum.Node {
+	var best *continuum.Node
+	bestE := math.Inf(1)
+	for _, n := range inf.Nodes() {
+		if n.FreeCores() < 1 {
+			continue
+		}
+		exec, err := n.ExecSeconds(fn.WorkGFlop, 1)
+		if err != nil {
+			continue
+		}
+		// Deadline estimate: execution only (network checked by the sim).
+		if exec > fn.DeadlineS {
+			continue
+		}
+		delta := (n.MaxW - n.IdleW) / float64(n.Cores) * exec
+		if n.ReservedCores() == 0 {
+			delta += n.IdleW * exec // waking contribution
+		}
+		if delta < bestE || (delta == bestE && best != nil && n.ID < best.ID) {
+			best, bestE = n, delta
+		}
+	}
+	return best
+}
+
+// freest returns the node with most free cores (ties by ID), or nil if none
+// has a free core.
+func freest(nodes []*continuum.Node) *continuum.Node {
+	var best *continuum.Node
+	for _, n := range nodes {
+		if n.FreeCores() < 1 {
+			continue
+		}
+		if best == nil || n.FreeCores() > best.FreeCores() ||
+			(n.FreeCores() == best.FreeCores() && n.ID < best.ID) {
+			best = n
+		}
+	}
+	return best
+}

@@ -1,0 +1,135 @@
+package fog
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSensorTrace(t *testing.T) {
+	tr := SensorTrace(5, 100, 0.1, rand.New(rand.NewSource(2)))
+	if len(tr) != 500 {
+		t.Fatalf("trace = %d", len(tr))
+	}
+	sensors := map[string]int{}
+	glitches := 0
+	for _, r := range tr {
+		sensors[r.Sensor]++
+		if r.Value < -100 {
+			glitches++
+		}
+	}
+	if len(sensors) != 5 {
+		t.Errorf("sensors = %d", len(sensors))
+	}
+	if glitches == 0 || glitches > 120 {
+		t.Errorf("glitches = %d, want roughly 10%%", glitches)
+	}
+	// Deterministic under seed.
+	tr2 := SensorTrace(5, 100, 0.1, rand.New(rand.NewSource(2)))
+	if tr2[0] != tr[0] || tr2[499] != tr[499] {
+		t.Error("trace not deterministic")
+	}
+}
+
+func TestNodeValidate(t *testing.T) {
+	n := &Node{WindowSize: 0}
+	if err := n.Validate(); err == nil {
+		t.Error("zero window accepted")
+	}
+	n = &Node{WindowSize: 5}
+	if err := n.Validate(); err != nil || n.Workers != 1 {
+		t.Errorf("defaulting failed: %v, workers=%d", err, n.Workers)
+	}
+}
+
+func TestRunSievesAndAggregates(t *testing.T) {
+	tr := SensorTrace(4, 200, 0.05, rand.New(rand.NewSource(7)))
+	n := &Node{Sieve: GlitchSieve, WindowSize: 20, Workers: 4}
+	res, err := n.Run(context.Background(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ingested != 800 {
+		t.Errorf("ingested = %d", res.Ingested)
+	}
+	if res.Sieved == 0 {
+		t.Error("sieve dropped nothing despite glitches")
+	}
+	if len(res.Forwarded) == 0 {
+		t.Fatal("nothing forwarded")
+	}
+	// Aggregates contain no glitch values and are physically plausible.
+	for _, a := range res.Forwarded {
+		if a.Min < -100 {
+			t.Errorf("glitch leaked into aggregate: %+v", a)
+		}
+		if a.Mean < 10 || a.Mean > 40 {
+			t.Errorf("implausible mean %v", a.Mean)
+		}
+		if a.Count <= 0 || a.Count > 20 {
+			t.Errorf("window count = %d", a.Count)
+		}
+		if a.Min > a.Mean || a.Mean > a.Max {
+			t.Errorf("aggregate ordering broken: %+v", a)
+		}
+	}
+	// Conservation: forwarded counts + sieved = ingested.
+	total := res.Sieved
+	for _, a := range res.Forwarded {
+		total += a.Count
+	}
+	if total != res.Ingested {
+		t.Errorf("readings lost: %d of %d accounted", total, res.Ingested)
+	}
+}
+
+// The SPF claim: forwarding aggregates instead of raw readings slashes
+// upstream bandwidth.
+func TestBandwidthReduction(t *testing.T) {
+	tr := SensorTrace(10, 500, 0.02, rand.New(rand.NewSource(3)))
+	n := &Node{Sieve: GlitchSieve, WindowSize: 50, Workers: 2}
+	res, err := n.Run(context.Background(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red := res.Reduction(); red < 10 {
+		t.Errorf("bandwidth reduction = %.1fx, want > 10x for 50-reading windows", red)
+	}
+	if res.ForwardedBytes >= res.RawBytes {
+		t.Error("forwarding cost not reduced")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	n := &Node{WindowSize: 10}
+	if _, err := n.Run(context.Background(), nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+	bad := &Node{WindowSize: -1}
+	if _, err := bad.Run(context.Background(), SensorTrace(1, 10, 0, nil)); err == nil {
+		t.Error("invalid node accepted")
+	}
+}
+
+func TestAggregateMeanAccuracy(t *testing.T) {
+	// Constant-value sensor: mean must be exact.
+	var tr []Reading
+	for i := 0; i < 40; i++ {
+		tr = append(tr, Reading{Sensor: "s", Seq: i, Value: 42})
+	}
+	n := &Node{WindowSize: 10}
+	res, err := n.Run(context.Background(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Forwarded) != 4 {
+		t.Fatalf("windows = %d", len(res.Forwarded))
+	}
+	for _, a := range res.Forwarded {
+		if math.Abs(a.Mean-42) > 1e-12 || a.Min != 42 || a.Max != 42 {
+			t.Errorf("aggregate = %+v", a)
+		}
+	}
+}

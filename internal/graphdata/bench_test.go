@@ -1,0 +1,47 @@
+package graphdata
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(n, e int) *Graph {
+	rng := rand.New(rand.NewSource(1))
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		g.AddVertex(VertexID(i), map[string]string{"k": fmt.Sprint(rng.Intn(10))})
+	}
+	for i := 0; i < e; i++ {
+		a, b := VertexID(rng.Intn(n)), VertexID(rng.Intn(n))
+		if a != b {
+			_ = g.AddEdge(a, b)
+		}
+	}
+	return g
+}
+
+// BenchmarkPageRank measures power iteration on a 5k-vertex graph.
+func BenchmarkPageRank(b *testing.B) {
+	g := benchGraph(5000, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.PageRank(0.85, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAggregate measures the parallel group-by phase.
+func BenchmarkAggregate(b *testing.B) {
+	g := benchGraph(20000, 60000)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Aggregate(g, []string{"k"}, DegreeMeasure, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,255 @@
+// Package graphdata implements a MALAGA-style framework (Section 2.5):
+// multi-dimensional Big Data analytics over graph data. A property graph
+// carries attribute maps on vertices; analytics are expressed as
+// dimension-tuple aggregations (OLAP-style group-by over vertex attributes,
+// optionally crossed with topological measures) and executed in parallel
+// over vertex partitions, Hadoop-style.
+//
+// Topological measures included: degree, PageRank (power iteration), and
+// connected components (label propagation) — the staples of graph
+// aggregation queries.
+package graphdata
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// VertexID identifies a vertex.
+type VertexID int
+
+// Graph is an undirected property graph (directed edges stored once;
+// adjacency kept both ways for traversal).
+type Graph struct {
+	attrs map[VertexID]map[string]string
+	adj   map[VertexID][]VertexID
+	edges int
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{attrs: map[VertexID]map[string]string{}, adj: map[VertexID][]VertexID{}}
+}
+
+// AddVertex registers a vertex with its attributes. Re-adding replaces the
+// attributes.
+func (g *Graph) AddVertex(id VertexID, attrs map[string]string) {
+	cp := make(map[string]string, len(attrs))
+	for k, v := range attrs {
+		cp[k] = v
+	}
+	if _, ok := g.attrs[id]; !ok {
+		g.adj[id] = nil
+	}
+	g.attrs[id] = cp
+}
+
+// AddEdge connects two existing vertices; self-loops and unknown endpoints
+// are errors. Parallel edges are allowed (multigraph).
+func (g *Graph) AddEdge(a, b VertexID) error {
+	if a == b {
+		return fmt.Errorf("graphdata: self-loop on %d", a)
+	}
+	if _, ok := g.attrs[a]; !ok {
+		return fmt.Errorf("graphdata: unknown vertex %d", a)
+	}
+	if _, ok := g.attrs[b]; !ok {
+		return fmt.Errorf("graphdata: unknown vertex %d", b)
+	}
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+	g.edges++
+	return nil
+}
+
+// Order returns the vertex count; SizeEdges the edge count.
+func (g *Graph) Order() int     { return len(g.attrs) }
+func (g *Graph) SizeEdges() int { return g.edges }
+
+// Vertices returns all vertex IDs in ascending order.
+func (g *Graph) Vertices() []VertexID {
+	out := make([]VertexID, 0, len(g.attrs))
+	for id := range g.attrs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Attr returns a vertex attribute ("" when absent).
+func (g *Graph) Attr(id VertexID, key string) string { return g.attrs[id][key] }
+
+// Degree returns a vertex's degree.
+func (g *Graph) Degree(id VertexID) int { return len(g.adj[id]) }
+
+// PageRank runs power iteration with damping d for iters rounds, returning
+// per-vertex scores summing to ~1. Dangling mass is redistributed uniformly.
+func (g *Graph) PageRank(d float64, iters int) (map[VertexID]float64, error) {
+	if d <= 0 || d >= 1 {
+		return nil, fmt.Errorf("graphdata: damping %v outside (0,1)", d)
+	}
+	if iters <= 0 {
+		return nil, fmt.Errorf("graphdata: non-positive iterations %d", iters)
+	}
+	n := g.Order()
+	if n == 0 {
+		return nil, errors.New("graphdata: empty graph")
+	}
+	rank := make(map[VertexID]float64, n)
+	for id := range g.attrs {
+		rank[id] = 1 / float64(n)
+	}
+	for it := 0; it < iters; it++ {
+		next := make(map[VertexID]float64, n)
+		dangling := 0.0
+		for id, r := range rank {
+			deg := len(g.adj[id])
+			if deg == 0 {
+				dangling += r
+				continue
+			}
+			share := r / float64(deg)
+			for _, nb := range g.adj[id] {
+				next[nb] += share
+			}
+		}
+		base := (1-d)/float64(n) + d*dangling/float64(n)
+		for id := range g.attrs {
+			next[id] = base + d*next[id]
+		}
+		rank = next
+	}
+	return rank, nil
+}
+
+// Components assigns a component label to every vertex via label
+// propagation (labels are the minimum vertex ID in the component).
+func (g *Graph) Components() map[VertexID]VertexID {
+	label := make(map[VertexID]VertexID, g.Order())
+	for id := range g.attrs {
+		label[id] = id
+	}
+	changed := true
+	for changed {
+		changed = false
+		for id, nbs := range g.adj {
+			min := label[id]
+			for _, nb := range nbs {
+				if label[nb] < min {
+					min = label[nb]
+				}
+			}
+			if min < label[id] {
+				label[id] = min
+				changed = true
+			}
+		}
+	}
+	return label
+}
+
+// --- Multi-dimensional aggregation ------------------------------------------
+
+// Measure computes a numeric value for a vertex (e.g. degree, a parsed
+// attribute, a PageRank score looked up from a precomputed map).
+type Measure func(g *Graph, id VertexID) float64
+
+// DegreeMeasure returns the vertex degree.
+func DegreeMeasure(g *Graph, id VertexID) float64 { return float64(g.Degree(id)) }
+
+// CellKey is one group in a multi-dimensional aggregation: the values of
+// the group-by attributes, joined canonically.
+type CellKey string
+
+// Cell is one aggregation result.
+type Cell struct {
+	Key   CellKey
+	Count int
+	Sum   float64
+	Mean  float64
+	Max   float64
+}
+
+// Aggregate groups vertices by the given attribute dimensions and reduces
+// measure over each group, using `workers` goroutines over vertex
+// partitions (the Hadoop-style parallel phase). Results are sorted by key.
+func Aggregate(g *Graph, dims []string, measure Measure, workers int) ([]Cell, error) {
+	if len(dims) == 0 {
+		return nil, errors.New("graphdata: no dimensions")
+	}
+	if measure == nil {
+		return nil, errors.New("graphdata: nil measure")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	vertices := g.Vertices()
+
+	type partial map[CellKey]*Cell
+	partials := make([]partial, workers)
+	var wg sync.WaitGroup
+	chunk := (len(vertices) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(vertices) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(vertices) {
+			hi = len(vertices)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			p := partial{}
+			for _, id := range vertices[lo:hi] {
+				key := ""
+				for i, d := range dims {
+					if i > 0 {
+						key += "|"
+					}
+					key += g.Attr(id, d)
+				}
+				c, ok := p[CellKey(key)]
+				if !ok {
+					c = &Cell{Key: CellKey(key)}
+					p[CellKey(key)] = c
+				}
+				v := measure(g, id)
+				c.Count++
+				c.Sum += v
+				if v > c.Max || c.Count == 1 {
+					c.Max = v
+				}
+			}
+			partials[w] = p
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Merge phase.
+	merged := map[CellKey]*Cell{}
+	for _, p := range partials {
+		for k, c := range p {
+			m, ok := merged[k]
+			if !ok {
+				merged[k] = &Cell{Key: k, Count: c.Count, Sum: c.Sum, Max: c.Max}
+				continue
+			}
+			m.Count += c.Count
+			m.Sum += c.Sum
+			if c.Max > m.Max {
+				m.Max = c.Max
+			}
+		}
+	}
+	out := make([]Cell, 0, len(merged))
+	for _, c := range merged {
+		c.Mean = c.Sum / float64(c.Count)
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}

@@ -1,0 +1,249 @@
+package graphdata
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// socialGraph builds two cliques bridged by one edge, with city/role
+// attributes.
+func socialGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph()
+	for i := 0; i < 10; i++ {
+		city := "turin"
+		if i >= 5 {
+			city = "pisa"
+		}
+		role := "student"
+		if i%2 == 0 {
+			role = "prof"
+		}
+		g.AddVertex(VertexID(i), map[string]string{"city": city, "role": role})
+	}
+	// Clique 0-4 and clique 5-9.
+	for a := 0; a < 5; a++ {
+		for b := a + 1; b < 5; b++ {
+			if err := g.AddEdge(VertexID(a), VertexID(b)); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.AddEdge(VertexID(a+5), VertexID(b+5)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := g.AddEdge(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := socialGraph(t)
+	if g.Order() != 10 || g.SizeEdges() != 21 {
+		t.Errorf("order %d edges %d", g.Order(), g.SizeEdges())
+	}
+	if g.Degree(0) != 5 { // 4 clique + 1 bridge
+		t.Errorf("degree(0) = %d", g.Degree(0))
+	}
+	if g.Attr(7, "city") != "pisa" {
+		t.Errorf("attr = %q", g.Attr(7, "city"))
+	}
+	if err := g.AddEdge(0, 0); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 99); err == nil {
+		t.Error("unknown endpoint accepted")
+	}
+	vs := g.Vertices()
+	if len(vs) != 10 || vs[0] != 0 || vs[9] != 9 {
+		t.Errorf("vertices = %v", vs)
+	}
+}
+
+func TestPageRank(t *testing.T) {
+	g := socialGraph(t)
+	pr, err := g.PageRank(0.85, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range pr {
+		if v <= 0 {
+			t.Error("non-positive rank")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("ranks sum to %v", sum)
+	}
+	// Bridge vertices (0 and 5) have the highest rank.
+	for id, v := range pr {
+		if id != 0 && id != 5 && v >= pr[0] {
+			t.Errorf("vertex %d rank %v >= bridge rank %v", id, v, pr[0])
+		}
+	}
+	if _, err := g.PageRank(1.5, 10); err == nil {
+		t.Error("bad damping accepted")
+	}
+	if _, err := g.PageRank(0.85, 0); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	if _, err := NewGraph().PageRank(0.85, 10); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestPageRankDanglingMass(t *testing.T) {
+	g := NewGraph()
+	g.AddVertex(1, nil)
+	g.AddVertex(2, nil)
+	g.AddVertex(3, nil) // isolated: dangling
+	_ = g.AddEdge(1, 2)
+	pr, err := g.PageRank(0.85, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range pr {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("dangling mass lost: sum %v", sum)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 6; i++ {
+		g.AddVertex(VertexID(i), nil)
+	}
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(1, 2)
+	_ = g.AddEdge(3, 4)
+	labels := g.Components()
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Error("component {0,1,2} split")
+	}
+	if labels[3] != labels[4] {
+		t.Error("component {3,4} split")
+	}
+	if labels[0] == labels[3] || labels[5] == labels[0] || labels[5] == labels[3] {
+		t.Error("distinct components merged")
+	}
+	if labels[5] != 5 {
+		t.Errorf("singleton label = %v", labels[5])
+	}
+}
+
+func TestAggregateByCity(t *testing.T) {
+	g := socialGraph(t)
+	cells, err := Aggregate(g, []string{"city"}, DegreeMeasure, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("cells = %+v", cells)
+	}
+	// pisa < turin lexicographically.
+	if cells[0].Key != "pisa" || cells[1].Key != "turin" {
+		t.Errorf("keys = %v, %v", cells[0].Key, cells[1].Key)
+	}
+	for _, c := range cells {
+		if c.Count != 5 {
+			t.Errorf("cell %s count = %d", c.Key, c.Count)
+		}
+		// Each clique: 4+4+4+4 plus one bridge endpoint with 5 → sum 21.
+		if c.Sum != 21 {
+			t.Errorf("cell %s degree sum = %v", c.Key, c.Sum)
+		}
+		if c.Max != 5 {
+			t.Errorf("cell %s max = %v", c.Key, c.Max)
+		}
+		if math.Abs(c.Mean-4.2) > 1e-12 {
+			t.Errorf("cell %s mean = %v", c.Key, c.Mean)
+		}
+	}
+}
+
+func TestAggregateMultiDimensional(t *testing.T) {
+	g := socialGraph(t)
+	cells, err := Aggregate(g, []string{"city", "role"}, DegreeMeasure, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 { // 2 cities × 2 roles
+		t.Fatalf("cells = %d", len(cells))
+	}
+	total := 0
+	for _, c := range cells {
+		total += c.Count
+	}
+	if total != 10 {
+		t.Errorf("counts sum to %d", total)
+	}
+}
+
+func TestAggregateParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := NewGraph()
+	n := 500
+	for i := 0; i < n; i++ {
+		g.AddVertex(VertexID(i), map[string]string{"k": fmt.Sprint(rng.Intn(7))})
+	}
+	for e := 0; e < 1500; e++ {
+		a, b := VertexID(rng.Intn(n)), VertexID(rng.Intn(n))
+		if a != b {
+			_ = g.AddEdge(a, b)
+		}
+	}
+	seq, err := Aggregate(g, []string{"k"}, DegreeMeasure, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Aggregate(g, []string{"k"}, DegreeMeasure, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("cell counts differ")
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("cell %d: %+v vs %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	g := socialGraph(t)
+	if _, err := Aggregate(g, nil, DegreeMeasure, 1); err == nil {
+		t.Error("no dimensions accepted")
+	}
+	if _, err := Aggregate(g, []string{"city"}, nil, 1); err == nil {
+		t.Error("nil measure accepted")
+	}
+}
+
+func TestAggregateWithPageRankMeasure(t *testing.T) {
+	g := socialGraph(t)
+	pr, err := g.PageRank(0.85, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := Aggregate(g, []string{"city"}, func(g *Graph, id VertexID) float64 {
+		return pr[id]
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, c := range cells {
+		total += c.Sum
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("grouped PageRank mass = %v", total)
+	}
+}

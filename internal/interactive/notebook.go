@@ -1,0 +1,239 @@
+// Package interactive implements the interactive-computing substrate
+// (Section 2.1 of the paper): the Jupyter Workflow model — notebook cells
+// whose data dependencies are extracted semi-automatically and compiled
+// into a workflow DAG — plus an ICS/SLURM-style batch queue with advance
+// reservations (queue.go) and a BookedSlurm-style booking calendar with
+// pay-per-use credits (calendar.go).
+package interactive
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"unicode"
+
+	"repro/internal/workflow"
+)
+
+// Cell is one notebook cell: an identifier and a code body in a small
+// Python-like assignment language. Supported statements, one per line:
+//
+//	x = <expression>        (defines x, uses identifiers in the expression)
+//	import name             (defines name)
+//	<expression>            (uses identifiers)
+//	# comment               (ignored)
+type Cell struct {
+	ID   string
+	Code string
+}
+
+// CellInfo is the dependency analysis of one cell.
+type CellInfo struct {
+	ID      string
+	Defines []string // variables assigned in the cell, sorted
+	Uses    []string // free variables read before (or without) definition, sorted
+}
+
+// keywords are excluded from identifier extraction.
+var keywords = map[string]bool{
+	"import": true, "print": true, "def": true, "return": true, "for": true,
+	"in": true, "if": true, "else": true, "while": true, "and": true,
+	"or": true, "not": true, "True": true, "False": true, "None": true,
+	"lambda": true, "range": true, "len": true,
+}
+
+// Analyze extracts the defined and used variables of a cell via a
+// lightweight AST-like pass, the mechanism Jupyter Workflow applies to real
+// Python cells.
+func Analyze(c Cell) CellInfo {
+	defined := map[string]bool{}
+	uses := map[string]bool{}
+	for _, rawLine := range strings.Split(c.Code, "\n") {
+		line := strings.TrimSpace(rawLine)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if name, ok := strings.CutPrefix(line, "import "); ok {
+			defined[strings.TrimSpace(name)] = true
+			continue
+		}
+		lhs, rhs, isAssign := splitAssign(line)
+		if isAssign {
+			for _, id := range identifiers(rhs) {
+				if !defined[id] {
+					uses[id] = true
+				}
+			}
+			for _, v := range strings.Split(lhs, ",") {
+				v = strings.TrimSpace(v)
+				if isIdentifier(v) {
+					defined[v] = true
+				}
+			}
+			continue
+		}
+		for _, id := range identifiers(line) {
+			if !defined[id] {
+				uses[id] = true
+			}
+		}
+	}
+	info := CellInfo{ID: c.ID}
+	for v := range defined {
+		info.Defines = append(info.Defines, v)
+	}
+	for v := range uses {
+		info.Uses = append(info.Uses, v)
+	}
+	sort.Strings(info.Defines)
+	sort.Strings(info.Uses)
+	return info
+}
+
+// splitAssign splits "lhs = rhs" on the first top-level '=' that is not
+// part of ==, <=, >=, !=.
+func splitAssign(line string) (lhs, rhs string, ok bool) {
+	for i := 0; i < len(line); i++ {
+		if line[i] != '=' {
+			continue
+		}
+		if i+1 < len(line) && line[i+1] == '=' {
+			i++ // skip ==
+			continue
+		}
+		if i > 0 && (line[i-1] == '=' || line[i-1] == '<' || line[i-1] == '>' || line[i-1] == '!') {
+			continue
+		}
+		return strings.TrimSpace(line[:i]), strings.TrimSpace(line[i+1:]), true
+	}
+	return "", "", false
+}
+
+// identifiers extracts identifier tokens from an expression, skipping
+// keywords, attribute accesses after '.', and string literals.
+func identifiers(expr string) []string {
+	var out []string
+	inString := byte(0)
+	i := 0
+	prevDot := false
+	for i < len(expr) {
+		ch := expr[i]
+		if inString != 0 {
+			if ch == inString {
+				inString = 0
+			}
+			i++
+			continue
+		}
+		switch {
+		case ch == '\'' || ch == '"':
+			inString = ch
+			i++
+		case unicode.IsLetter(rune(ch)) || ch == '_':
+			j := i
+			for j < len(expr) && (unicode.IsLetter(rune(expr[j])) || unicode.IsDigit(rune(expr[j])) || expr[j] == '_') {
+				j++
+			}
+			tok := expr[i:j]
+			if !keywords[tok] && !prevDot {
+				out = append(out, tok)
+			}
+			i = j
+			prevDot = false
+		case ch == '.':
+			prevDot = true
+			i++
+		default:
+			prevDot = false
+			i++
+		}
+	}
+	return out
+}
+
+func isIdentifier(s string) bool {
+	if s == "" || keywords[s] {
+		return false
+	}
+	for i, r := range s {
+		if !(unicode.IsLetter(r) || r == '_' || (i > 0 && unicode.IsDigit(r))) {
+			return false
+		}
+	}
+	return true
+}
+
+// Notebook is an ordered list of cells.
+type Notebook struct {
+	Name  string
+	Cells []Cell
+}
+
+// CompileOptions tune the notebook → workflow lowering.
+type CompileOptions struct {
+	// WorkGFlop assigns compute work per cell (for simulation); nil gives
+	// every cell 1 GFlop.
+	WorkGFlop func(Cell) float64
+	// OutputBytes sizes each cell's produced artifact; nil gives 1 MB.
+	OutputBytes func(Cell) float64
+}
+
+// Compile extracts each cell's dependencies and builds the workflow DAG:
+// cell B depends on cell A when A is the latest preceding cell defining a
+// variable B uses — exactly the Jupyter Workflow semantics (later
+// definitions shadow earlier ones). Variables used but never defined are an
+// error (an unbound notebook).
+func (n *Notebook) Compile(opts CompileOptions) (*workflow.Workflow, error) {
+	if len(n.Cells) == 0 {
+		return nil, errors.New("interactive: empty notebook")
+	}
+	work := opts.WorkGFlop
+	if work == nil {
+		work = func(Cell) float64 { return 1 }
+	}
+	size := opts.OutputBytes
+	if size == nil {
+		size = func(Cell) float64 { return 1e6 }
+	}
+	wf := workflow.New(n.Name)
+	lastDef := map[string]string{} // variable → most recent defining cell
+	seen := map[string]bool{}
+	for _, c := range n.Cells {
+		if seen[c.ID] {
+			return nil, fmt.Errorf("interactive: duplicate cell %q", c.ID)
+		}
+		seen[c.ID] = true
+		info := Analyze(c)
+		depSet := map[string]bool{}
+		for _, u := range info.Uses {
+			def, ok := lastDef[u]
+			if !ok {
+				return nil, fmt.Errorf("interactive: cell %q uses undefined variable %q", c.ID, u)
+			}
+			if def != c.ID {
+				depSet[def] = true
+			}
+		}
+		deps := make([]string, 0, len(depSet))
+		for d := range depSet {
+			deps = append(deps, d)
+		}
+		sort.Strings(deps)
+		if err := wf.Add(workflow.Step{
+			ID:          c.ID,
+			After:       deps,
+			WorkGFlop:   work(c),
+			OutputBytes: size(c),
+		}); err != nil {
+			return nil, err
+		}
+		for _, d := range info.Defines {
+			lastDef[d] = c.ID
+		}
+	}
+	if err := wf.Validate(); err != nil {
+		return nil, err
+	}
+	return wf, nil
+}

@@ -1,0 +1,70 @@
+package mlir
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkPipeline measures the full lowering pipeline on growing modules.
+func BenchmarkPipeline(b *testing.B) {
+	for _, nOps := range []int{3, 30, 300} {
+		b.Run(fmt.Sprintf("ops-%d", nOps), func(b *testing.B) {
+			mk := func() *Module {
+				m := &Module{Name: "bench", Size: 64, Inputs: []string{"%x", "%y"}}
+				prev := []string{"%x", "%y"}
+				for i := 0; i < nOps; i++ {
+					res := fmt.Sprintf("%%v%d", i)
+					m.Ops = append(m.Ops, Op{
+						Dialect: DialectTensor,
+						Name:    []string{"add", "mul", "sub"}[i%3],
+						Result:  res,
+						Args:    []string{prev[len(prev)-1], prev[len(prev)-2]},
+					})
+					prev = append(prev, res)
+				}
+				m.Output = prev[len(prev)-1]
+				return m
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := mk()
+				if err := DefaultPipeline().Run(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInterpret compares interpretation cost at tensor level vs after
+// full lowering (the abstraction penalty the multi-level IR manages).
+func BenchmarkInterpret(b *testing.B) {
+	const n = 256
+	inputs := map[string][]float64{
+		"%x": make([]float64, n),
+		"%y": make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		inputs["%x"][i] = float64(i)
+		inputs["%y"][i] = float64(n - i)
+	}
+	high := AXPY("bench", n, 2)
+	low := AXPY("bench", n, 2)
+	if err := DefaultPipeline().Run(low); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("tensor-level", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Interpret(high, inputs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rv-level", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Interpret(low, inputs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,365 @@
+package mlir
+
+import (
+	"fmt"
+)
+
+// Pass transforms a module in place.
+type Pass interface {
+	Name() string
+	Run(m *Module) error
+}
+
+// PassManager runs a pipeline of passes, validating after each one — the
+// orchestration of the optimization flow that application 3.10 drives with
+// StreamFlow.
+type PassManager struct {
+	passes []Pass
+	// Trace records pass name → op count after the pass.
+	Trace []PassTrace
+}
+
+// PassTrace is one pipeline step's record.
+type PassTrace struct {
+	Pass     string
+	OpsAfter int
+}
+
+// Add appends a pass to the pipeline.
+func (pm *PassManager) Add(p Pass) *PassManager {
+	pm.passes = append(pm.passes, p)
+	return pm
+}
+
+// Run executes the pipeline.
+func (pm *PassManager) Run(m *Module) error {
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("mlir: input module invalid: %w", err)
+	}
+	for _, p := range pm.passes {
+		if err := p.Run(m); err != nil {
+			return fmt.Errorf("mlir: pass %s: %w", p.Name(), err)
+		}
+		if err := m.Validate(); err != nil {
+			return fmt.Errorf("mlir: pass %s broke the module: %w", p.Name(), err)
+		}
+		pm.Trace = append(pm.Trace, PassTrace{Pass: p.Name(), OpsAfter: m.CountOps()})
+	}
+	return nil
+}
+
+// DefaultPipeline returns the standard lowering pipeline of application
+// 3.10: optimize at tensor level, lower to loops, fuse, lower to RISC-V.
+func DefaultPipeline() *PassManager {
+	pm := &PassManager{}
+	pm.Add(ConstFold{}).Add(DCE{}).Add(LowerTensorToLoop{}).Add(LoopFusion{}).Add(LowerLoopToRV{})
+	return pm
+}
+
+// --- Tensor-level passes ---------------------------------------------------
+
+// ConstFold folds tensor ops whose operands are all constants into consts.
+type ConstFold struct{}
+
+// Name implements Pass.
+func (ConstFold) Name() string { return "const-fold" }
+
+// Run implements Pass.
+func (ConstFold) Run(m *Module) error {
+	consts := map[string]float64{}
+	var out []Op
+	for _, op := range m.Ops {
+		if op.Dialect != DialectTensor {
+			out = append(out, op)
+			continue
+		}
+		switch op.Name {
+		case "const":
+			consts[op.Result] = op.Attrs["value"]
+			out = append(out, op)
+		case "add", "mul", "sub":
+			a, aok := consts[op.Args[0]]
+			b, bok := consts[op.Args[1]]
+			if aok && bok {
+				var v float64
+				switch op.Name {
+				case "add":
+					v = a + b
+				case "mul":
+					v = a * b
+				case "sub":
+					v = a - b
+				}
+				consts[op.Result] = v
+				out = append(out, Op{Dialect: DialectTensor, Name: "const", Result: op.Result,
+					Attrs: map[string]float64{"value": v}})
+				continue
+			}
+			out = append(out, op)
+		case "sum":
+			if c, ok := consts[op.Args[0]]; ok {
+				v := c * float64(m.Size)
+				consts[op.Result] = v
+				out = append(out, Op{Dialect: DialectTensor, Name: "const", Result: op.Result,
+					Attrs: map[string]float64{"value": v}})
+				continue
+			}
+			out = append(out, op)
+		default:
+			out = append(out, op)
+		}
+	}
+	m.Ops = out
+	return nil
+}
+
+// DCE removes ops whose results are transitively unused (tensor level only;
+// loop/rv stores are side effects and kept).
+type DCE struct{}
+
+// Name implements Pass.
+func (DCE) Name() string { return "dce" }
+
+// Run implements Pass.
+func (DCE) Run(m *Module) error {
+	live := map[string]bool{m.Output: true}
+	// mark makes every value referenced in ops (recursively) live.
+	var markAll func(ops []Op) bool
+	markAll = func(ops []Op) bool {
+		changed := false
+		for _, op := range ops {
+			if !(op.Result != "" && live[op.Result]) && op.Result != "" && len(op.Body) == 0 {
+				// Dead (so far) value-producing op: its args stay unmarked.
+				continue
+			}
+			for _, a := range op.Args {
+				if !live[a] {
+					live[a] = true
+					changed = true
+				}
+			}
+			if markAll(op.Body) {
+				changed = true
+			}
+		}
+		return changed
+	}
+	for markAll(m.Ops) {
+	}
+	var out []Op
+	for _, op := range m.Ops {
+		if op.Result == "" || live[op.Result] || len(op.Body) > 0 {
+			out = append(out, op)
+		}
+	}
+	m.Ops = out
+	return nil
+}
+
+// --- Lowering: tensor → loop ----------------------------------------------
+
+// LowerTensorToLoop rewrites every tensor op into an explicit loop nest
+// over buffers, the mid-level representation.
+type LowerTensorToLoop struct{}
+
+// Name implements Pass.
+func (LowerTensorToLoop) Name() string { return "lower-tensor-to-loop" }
+
+// Run implements Pass.
+func (LowerTensorToLoop) Run(m *Module) error {
+	var out []Op
+	tmp := 0
+	fresh := func(prefix string) string {
+		tmp++
+		return fmt.Sprintf("%%%s%d", prefix, tmp)
+	}
+	for _, op := range m.Ops {
+		if op.Dialect != DialectTensor {
+			out = append(out, op)
+			continue
+		}
+		switch op.Name {
+		case "const":
+			buf := op.Result
+			out = append(out,
+				Op{Dialect: DialectLoop, Name: "alloc", Result: buf},
+				Op{Dialect: DialectLoop, Name: "for", Body: []Op{
+					{Name: "constf", Result: fresh("c"), Attrs: map[string]float64{"value": op.Attrs["value"]}},
+				}})
+			// Fix: the const must be stored into buf; rebuild the body.
+			last := &out[len(out)-1]
+			cv := last.Body[0].Result
+			last.Body = append(last.Body, Op{Name: "store", Args: []string{buf, cv}})
+		case "add", "mul", "sub":
+			buf := op.Result
+			opName := map[string]string{"add": "addf", "mul": "mulf", "sub": "subf"}[op.Name]
+			t := fresh("t")
+			out = append(out,
+				Op{Dialect: DialectLoop, Name: "alloc", Result: buf},
+				Op{Dialect: DialectLoop, Name: "for", Body: []Op{
+					{Name: opName, Result: t, Args: []string{op.Args[0], op.Args[1]}},
+					{Name: "store", Args: []string{buf, t}},
+				}})
+		case "sum":
+			// Reduction lowering: accumulate into element 0 then broadcast.
+			// For the simple vector machine we lower to two loops using the
+			// tensor interpreter's semantics; kept at tensor level instead
+			// (reductions stay high-level until the rv backend).
+			out = append(out, op)
+		default:
+			return fmt.Errorf("mlir: cannot lower tensor op %q", op.Name)
+		}
+	}
+	m.Ops = out
+	return nil
+}
+
+// --- Loop-level pass: fusion ------------------------------------------------
+
+// LoopFusion merges adjacent loop.for ops into one loop, eliminating
+// intermediate buffer traffic — the classic locality optimization the MLIR
+// paper motivates with domain-specific dialects.
+type LoopFusion struct{}
+
+// Name implements Pass.
+func (LoopFusion) Name() string { return "loop-fusion" }
+
+// Run implements Pass. Loops separated only by allocs fuse too: allocs have
+// no operands, so they hoist above the fused loop safely.
+func (LoopFusion) Run(m *Module) error {
+	var out []Op
+	lastFor := -1 // index in out of the open fusion target
+	var pendingAllocs []Op
+	flush := func() {
+		out = append(out, pendingAllocs...)
+		pendingAllocs = nil
+	}
+	for _, op := range m.Ops {
+		isLoop := op.Dialect == DialectLoop
+		switch {
+		case isLoop && op.Name == "alloc":
+			if lastFor >= 0 {
+				pendingAllocs = append(pendingAllocs, op)
+			} else {
+				out = append(out, op)
+			}
+		case isLoop && op.Name == "for":
+			if lastFor >= 0 {
+				// Hoist the intervening allocs above the fusion target,
+				// then merge this loop's body into it.
+				if len(pendingAllocs) > 0 {
+					out = append(out[:lastFor], append(append([]Op(nil), pendingAllocs...), out[lastFor:]...)...)
+					lastFor += len(pendingAllocs)
+					pendingAllocs = nil
+				}
+				out[lastFor].Body = append(out[lastFor].Body, op.Body...)
+				continue
+			}
+			out = append(out, op)
+			lastFor = len(out) - 1
+		default:
+			// Any other op is a fusion barrier.
+			flush()
+			out = append(out, op)
+			lastFor = -1
+		}
+	}
+	flush()
+	m.Ops = out
+	return nil
+}
+
+// --- Lowering: loop → rv -----------------------------------------------------
+
+// LowerLoopToRV rewrites loop-dialect ops into the RISC-V-flavoured dialect:
+// allocs become rv.alloc, loops become rv.loop with instruction bodies
+// (li, flw-style loads implicit in operand use, fadd/fmul/fsub, fsw stores).
+type LowerLoopToRV struct{}
+
+// Name implements Pass.
+func (LowerLoopToRV) Name() string { return "lower-loop-to-rv" }
+
+// Run implements Pass.
+func (LowerLoopToRV) Run(m *Module) error {
+	rename := map[string]string{"addf": "fadd", "mulf": "fmul", "subf": "fsub",
+		"constf": "li", "store": "fsw", "load": "flw"}
+	var out []Op
+	for _, op := range m.Ops {
+		if op.Dialect != DialectLoop {
+			out = append(out, op)
+			continue
+		}
+		switch op.Name {
+		case "alloc":
+			out = append(out, Op{Dialect: DialectRV, Name: "alloc", Result: op.Result})
+		case "for":
+			body := make([]Op, len(op.Body))
+			for i, b := range op.Body {
+				nb := b
+				nn, ok := rename[b.Name]
+				if !ok {
+					return fmt.Errorf("mlir: cannot lower loop body op %q", b.Name)
+				}
+				nb.Name = nn
+				nb.Dialect = DialectRV
+				body[i] = nb
+			}
+			out = append(out, Op{Dialect: DialectRV, Name: "loop",
+				Attrs: map[string]float64{"trip": float64(m.Size)}, Body: body})
+		default:
+			return fmt.Errorf("mlir: cannot lower loop op %q", op.Name)
+		}
+	}
+	m.Ops = out
+	return nil
+}
+
+// evalRV interprets the rv dialect (used by Interpret).
+func evalRV(m *Module, op Op, env map[string][]float64) error {
+	switch op.Name {
+	case "alloc":
+		env[op.Result] = make([]float64, m.Size)
+		return nil
+	case "loop":
+		trip := int(op.Attrs["trip"])
+		if trip <= 0 || trip > m.Size {
+			trip = m.Size
+		}
+		back := map[string]string{"fadd": "addf", "fmul": "mulf", "fsub": "subf",
+			"li": "constf", "fsw": "store", "flw": "load"}
+		for i := 0; i < trip; i++ {
+			for _, b := range op.Body {
+				nb := b
+				orig, ok := back[b.Name]
+				if !ok {
+					return fmt.Errorf("mlir: unknown rv instruction %q", b.Name)
+				}
+				nb.Name = orig
+				if err := evalLoopBody(m, nb, env, i); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("mlir: unknown rv op %q", op.Name)
+	}
+}
+
+// --- Convenience builders ----------------------------------------------------
+
+// AXPY builds the canonical demo module: out = a*x + y with a constant a —
+// a tiny stand-in for the high-level workloads application 3.10 lowers.
+func AXPY(name string, size int, a float64) *Module {
+	return &Module{
+		Name:   name,
+		Size:   size,
+		Inputs: []string{"%x", "%y"},
+		Output: "%out",
+		Ops: []Op{
+			{Dialect: DialectTensor, Name: "const", Result: "%a", Attrs: map[string]float64{"value": a}},
+			{Dialect: DialectTensor, Name: "mul", Result: "%ax", Args: []string{"%a", "%x"}},
+			{Dialect: DialectTensor, Name: "add", Result: "%out", Args: []string{"%ax", "%y"}},
+		},
+	}
+}

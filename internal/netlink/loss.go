@@ -1,0 +1,60 @@
+package netlink
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Loss injection: INSANE's differentiated QoS becomes observable under an
+// unreliable network. The Fast path trades reliability for latency — lossy
+// links drop its frames — while the Reliable path retransmits until
+// delivery, paying one extra RTT per attempt.
+
+// EnableLoss turns on frame loss with the given probability (in [0,1)) and
+// a deterministic seed. Loss applies per transmission attempt.
+func (f *Fabric) EnableLoss(prob float64, seed int64) error {
+	if prob < 0 || prob >= 1 {
+		return fmt.Errorf("netlink: loss probability %v outside [0,1)", prob)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.lossProb = prob
+	f.lossRng = rand.New(rand.NewSource(seed))
+	return nil
+}
+
+// lossState is embedded in Fabric (fields declared in netlink.go via this
+// file's interface — Go has no partial structs, so the fields live on the
+// Fabric type; see below).
+
+// sendAttempts simulates transmissions under loss for one message:
+//   - Fast: one attempt; if it drops, the message is lost (counted).
+//   - Reliable: retransmit until delivered; each retry adds a full
+//     BaseLatencyS round trip to the message's effective latency.
+//
+// It returns (delivered, extraLatency, attempts).
+func (f *Fabric) sendAttempts(qos QoSClass) (bool, float64, int) {
+	if f.lossRng == nil || f.lossProb == 0 {
+		return true, 0, 1
+	}
+	attempts := 1
+	for f.lossRng.Float64() < f.lossProb {
+		if qos == Fast {
+			return false, 0, attempts
+		}
+		attempts++
+		if attempts > 64 {
+			// Pathological loss; give up to bound simulation time.
+			return false, 0, attempts
+		}
+	}
+	extra := float64(attempts-1) * 2 * f.BaseLatencyS
+	return true, extra, attempts
+}
+
+// LossStats reports loss-injection counters.
+func (f *Fabric) LossStats() (lost, retransmissions int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lost, f.retx
+}

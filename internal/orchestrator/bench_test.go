@@ -1,0 +1,81 @@
+package orchestrator
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/continuum"
+	"repro/internal/workflow"
+)
+
+func benchWorkflow(steps int) *workflow.Workflow {
+	wf := workflow.New("bench")
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < steps; i++ {
+		var after []string
+		if i > 0 && rng.Float64() < 0.6 {
+			after = append(after, fmt.Sprintf("s%03d", rng.Intn(i)))
+		}
+		wf.MustAdd(workflow.Step{
+			ID:          fmt.Sprintf("s%03d", i),
+			After:       after,
+			WorkGFlop:   10 + rng.Float64()*500,
+			Cores:       1 + rng.Intn(4),
+			OutputBytes: rng.Float64() * 50e6,
+		})
+	}
+	return wf
+}
+
+// BenchmarkPlace measures placement cost per policy on a 100-step workflow.
+func BenchmarkPlace(b *testing.B) {
+	wf := benchWorkflow(100)
+	for _, pol := range Policies(rand.New(rand.NewSource(2))) {
+		b.Run(pol.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				inf := continuum.Testbed()
+				if _, err := pol.Place(wf, inf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulate measures the discrete-event schedule simulation.
+func BenchmarkSimulate(b *testing.B) {
+	for _, steps := range []int{20, 100, 400} {
+		b.Run(fmt.Sprintf("steps-%d", steps), func(b *testing.B) {
+			wf := benchWorkflow(steps)
+			for i := 0; i < b.N; i++ {
+				inf := continuum.Testbed()
+				p, err := (DataLocal{}).Place(wf, inf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := Simulate(wf, inf, p, "data-local"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFederationBorrow measures peering-based capacity borrowing.
+func BenchmarkFederationBorrow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a := NewCluster("a", continuum.EdgeCloudTestbed())
+		h := NewCluster("h", continuum.Testbed())
+		if err := a.Peer(h, 128); err != nil {
+			b.Fatal(err)
+		}
+		grants, err := a.Borrow("h", 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Return("h", grants); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

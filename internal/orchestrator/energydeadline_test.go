@@ -1,0 +1,104 @@
+package orchestrator
+
+import (
+	"testing"
+
+	"repro/internal/continuum"
+)
+
+func TestEnergyDeadlineValidation(t *testing.T) {
+	wf := pipelineWF()
+	inf := continuum.Testbed()
+	if _, err := (EnergyDeadline{Slack: 0.5}).Place(wf, inf); err == nil {
+		t.Error("slack < 1 accepted")
+	}
+}
+
+func TestEnergyDeadlinePlacesValidly(t *testing.T) {
+	for _, slack := range []float64{1, 2, 5} {
+		wf := wideWF(10)
+		inf := continuum.Testbed()
+		pol := EnergyDeadline{Slack: slack}
+		p, err := pol.Place(wf, inf)
+		if err != nil {
+			t.Fatalf("slack %v: %v", slack, err)
+		}
+		if err := p.Validate(wf, inf); err != nil {
+			t.Errorf("slack %v: %v", slack, err)
+		}
+	}
+}
+
+// The energy-deadline trade-off: generous slack buys dynamic energy savings
+// relative to pure HEFT, at the price of a longer (but bounded) makespan.
+func TestEnergyDeadlineTradeoff(t *testing.T) {
+	mk := func() ( /*heft*/ *Schedule /*relaxed*/, *Schedule) {
+		wfH := wideWF(10)
+		infH := continuum.Testbed()
+		ph, err := HEFT{}.Place(wfH, infH)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh, err := Simulate(wfH, infH, ph, "heft")
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		wfE := wideWF(10)
+		infE := continuum.Testbed()
+		pe, err := (EnergyDeadline{Slack: 6}).Place(wfE, infE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		se, err := Simulate(wfE, infE, pe, "energy-deadline")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sh, se
+	}
+	heft, relaxed := mk()
+	if relaxed.DynamicEnergyJ >= heft.DynamicEnergyJ {
+		t.Errorf("relaxed dynamic energy %.0fJ not below HEFT %.0fJ",
+			relaxed.DynamicEnergyJ, heft.DynamicEnergyJ)
+	}
+	// Bounded: the simulated makespan stays within a generous multiple of
+	// the reference (estimates and queueing diverge, hence the margin).
+	if relaxed.Makespan > 8*heft.Makespan {
+		t.Errorf("relaxed makespan %.1fs exploded vs HEFT %.1fs", relaxed.Makespan, heft.Makespan)
+	}
+}
+
+func TestEnergyDeadlineTightSlackTracksHEFT(t *testing.T) {
+	wfE := wideWF(8)
+	infE := continuum.Testbed()
+	pe, err := (EnergyDeadline{Slack: 1}).Place(wfE, infE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := Simulate(wfE, infE, pe, "energy-deadline-1x")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wfH := wideWF(8)
+	infH := continuum.Testbed()
+	ph, err := HEFT{}.Place(wfH, infH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := Simulate(wfH, infH, ph, "heft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no slack the policy may not beat HEFT but must stay in its
+	// neighbourhood (estimate-vs-queueing tolerance 2x).
+	if se.Makespan > 2*sh.Makespan {
+		t.Errorf("1x-slack makespan %.1fs far above HEFT %.1fs", se.Makespan, sh.Makespan)
+	}
+}
+
+func TestEnergyDeadlineName(t *testing.T) {
+	if got := (EnergyDeadline{Slack: 2}).Name(); got != "energy-deadline(2.0x)" {
+		t.Errorf("name = %q", got)
+	}
+}

@@ -1,0 +1,82 @@
+package orchestrator
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/continuum"
+	"repro/internal/workflow"
+)
+
+// FaultModel injects step failures into the schedule simulation — the
+// fault-tolerance dimension the paper's discussion flags as missing from
+// the surveyed ecosystem. Each step execution fails independently with
+// FailureProb; a failed attempt consumes its full execution time (fail at
+// the end, the worst case) and the step re-executes on the same node, up to
+// MaxRetries additional attempts.
+type FaultModel struct {
+	FailureProb float64
+	MaxRetries  int
+	Rng         *rand.Rand // deterministic injections; nil = seed 1
+}
+
+// Validate checks the model.
+func (f *FaultModel) Validate() error {
+	if f.FailureProb < 0 || f.FailureProb >= 1 {
+		return fmt.Errorf("orchestrator: failure probability %v outside [0,1)", f.FailureProb)
+	}
+	if f.MaxRetries < 0 {
+		return fmt.Errorf("orchestrator: negative retries %d", f.MaxRetries)
+	}
+	return nil
+}
+
+// FaultyStats extends a schedule with failure accounting.
+type FaultyStats struct {
+	Schedule *Schedule
+	Failures int // failed attempts that were retried
+}
+
+// SimulateWithFaults runs the schedule simulation under the fault model by
+// inflating each step's work to cover its (pre-drawn) failed attempts. The
+// draw order is the workflow's insertion order, so runs are reproducible
+// under a fixed seed. A step whose failures exceed MaxRetries aborts the
+// simulation with an error (the unrecoverable case).
+func SimulateWithFaults(wf *workflow.Workflow, inf *continuum.Infrastructure, p Placement, policyName string, fm FaultModel) (*FaultyStats, error) {
+	if err := fm.Validate(); err != nil {
+		return nil, err
+	}
+	rng := fm.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	// Pre-draw attempts per step: attempts = 1 + number of leading failures.
+	attempts := map[string]int{}
+	failures := 0
+	for _, s := range wf.Steps() {
+		a := 1
+		for fm.FailureProb > 0 && rng.Float64() < fm.FailureProb {
+			a++
+			if a > fm.MaxRetries+1 {
+				return nil, fmt.Errorf("orchestrator: step %q exhausted %d retries", s.ID, fm.MaxRetries)
+			}
+		}
+		attempts[s.ID] = a
+		failures += a - 1
+	}
+	// Rebuild the workflow with inflated work (retries serialize on the
+	// same node, so total time multiplies by the attempt count).
+	inflated := workflow.New(wf.Name)
+	for _, s := range wf.Steps() {
+		cp := *s
+		cp.WorkGFlop *= float64(attempts[s.ID])
+		if err := inflated.Add(cp); err != nil {
+			return nil, err
+		}
+	}
+	sched, err := Simulate(inflated, inf, p, policyName)
+	if err != nil {
+		return nil, err
+	}
+	return &FaultyStats{Schedule: sched, Failures: failures}, nil
+}

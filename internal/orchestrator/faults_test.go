@@ -1,0 +1,106 @@
+package orchestrator
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/continuum"
+)
+
+func TestFaultModelValidate(t *testing.T) {
+	bad := []FaultModel{
+		{FailureProb: -0.1},
+		{FailureProb: 1},
+		{FailureProb: 0.1, MaxRetries: -1},
+	}
+	for i, fm := range bad {
+		if err := fm.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}
+
+func TestZeroFaultMatchesPlainSimulation(t *testing.T) {
+	wf := pipelineWF()
+	inf := continuum.Testbed()
+	p, err := DataLocal{}.Place(wf, inf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Simulate(wf, inf, p, "data-local")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := SimulateWithFaults(wf, inf, p, "data-local", FaultModel{FailureProb: 0, MaxRetries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Failures != 0 {
+		t.Errorf("failures = %d", faulty.Failures)
+	}
+	if faulty.Schedule.Makespan != plain.Makespan {
+		t.Errorf("fault-free makespan %v != plain %v", faulty.Schedule.Makespan, plain.Makespan)
+	}
+}
+
+func TestFaultsExtendMakespan(t *testing.T) {
+	wf := pipelineWF()
+	inf := continuum.Testbed()
+	p, err := DataLocal{}.Place(wf, inf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Simulate(wf, inf, p, "data-local")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 40% failure probability some step almost surely retries.
+	faulty, err := SimulateWithFaults(wf, inf, p, "data-local",
+		FaultModel{FailureProb: 0.4, MaxRetries: 20, Rng: rand.New(rand.NewSource(2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Failures == 0 {
+		t.Fatal("no failures injected at p=0.4")
+	}
+	if faulty.Schedule.Makespan <= plain.Makespan {
+		t.Errorf("faulty makespan %v not above fault-free %v", faulty.Schedule.Makespan, plain.Makespan)
+	}
+}
+
+func TestRetryExhaustionFails(t *testing.T) {
+	wf := pipelineWF()
+	inf := continuum.Testbed()
+	p, err := DataLocal{}.Place(wf, inf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p=0.9 with zero retries: some step fails almost surely.
+	_, err = SimulateWithFaults(wf, inf, p, "data-local",
+		FaultModel{FailureProb: 0.9, MaxRetries: 0, Rng: rand.New(rand.NewSource(1))})
+	if err == nil {
+		t.Error("retry exhaustion not reported")
+	}
+}
+
+func TestFaultInjectionDeterministic(t *testing.T) {
+	run := func() (float64, int) {
+		wf := pipelineWF()
+		inf := continuum.Testbed()
+		p, err := DataLocal{}.Place(wf, inf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := SimulateWithFaults(wf, inf, p, "data-local",
+			FaultModel{FailureProb: 0.3, MaxRetries: 10, Rng: rand.New(rand.NewSource(7))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs.Schedule.Makespan, fs.Failures
+	}
+	m1, f1 := run()
+	m2, f2 := run()
+	if m1 != m2 || f1 != f2 {
+		t.Error("fault injection not deterministic under fixed seed")
+	}
+}

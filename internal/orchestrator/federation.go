@@ -1,0 +1,223 @@
+package orchestrator
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/continuum"
+)
+
+// This file models Liqo-style dynamic cluster federation (Section 2.2 and
+// application 3.4/3.8): independently administered clusters establish
+// peerings; a peering lets a consumer cluster schedule work onto a share of
+// the provider's resources through a single "virtual node" view.
+
+// Cluster is one administrative domain owning an infrastructure.
+type Cluster struct {
+	Name  string
+	Infra *continuum.Infrastructure
+	peers map[string]*peering
+}
+
+type peering struct {
+	provider *Cluster
+	shareCap int // max cores borrowable
+	borrowed int
+}
+
+// NewCluster wraps an infrastructure as a federable cluster.
+func NewCluster(name string, inf *continuum.Infrastructure) *Cluster {
+	return &Cluster{Name: name, Infra: inf, peers: map[string]*peering{}}
+}
+
+// Peer establishes an outgoing peering: c may borrow up to shareCores cores
+// from provider. Re-peering with the same provider updates the cap (never
+// below what is already borrowed).
+func (c *Cluster) Peer(provider *Cluster, shareCores int) error {
+	if provider == nil || provider == c {
+		return errors.New("orchestrator: invalid peering target")
+	}
+	if shareCores <= 0 {
+		return fmt.Errorf("orchestrator: non-positive share %d", shareCores)
+	}
+	if p, ok := c.peers[provider.Name]; ok {
+		if shareCores < p.borrowed {
+			return fmt.Errorf("orchestrator: cannot shrink share below %d borrowed cores", p.borrowed)
+		}
+		p.shareCap = shareCores
+		return nil
+	}
+	c.peers[provider.Name] = &peering{provider: provider, shareCap: shareCores}
+	return nil
+}
+
+// Unpeer removes a peering; it fails while cores are still borrowed.
+func (c *Cluster) Unpeer(provider string) error {
+	p, ok := c.peers[provider]
+	if !ok {
+		return fmt.Errorf("orchestrator: no peering with %q", provider)
+	}
+	if p.borrowed > 0 {
+		return fmt.Errorf("orchestrator: %d cores still borrowed from %q", p.borrowed, provider)
+	}
+	delete(c.peers, provider)
+	return nil
+}
+
+// Peers returns the provider names of active peerings, sorted.
+func (c *Cluster) Peers() []string {
+	out := make([]string, 0, len(c.peers))
+	for name := range c.peers {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LocalFree returns free cores in the local infrastructure.
+func (c *Cluster) LocalFree() int { return c.Infra.FreeCores() }
+
+// FederatedFree returns local free cores plus the remaining borrowable
+// share on every peering (bounded by the providers' actual free cores).
+func (c *Cluster) FederatedFree() int {
+	total := c.LocalFree()
+	for _, p := range c.peers {
+		avail := p.shareCap - p.borrowed
+		if pf := p.provider.Infra.FreeCores(); pf < avail {
+			avail = pf
+		}
+		if avail > 0 {
+			total += avail
+		}
+	}
+	return total
+}
+
+// Borrow reserves cores on a provider's infrastructure through a peering,
+// spreading the request across the provider's nodes (largest free first).
+// It returns the per-node grants, or an error leaving state untouched.
+func (c *Cluster) Borrow(provider string, cores int) (map[string]int, error) {
+	p, ok := c.peers[provider]
+	if !ok {
+		return nil, fmt.Errorf("orchestrator: no peering with %q", provider)
+	}
+	if cores <= 0 {
+		return nil, fmt.Errorf("orchestrator: non-positive borrow %d", cores)
+	}
+	if p.borrowed+cores > p.shareCap {
+		return nil, fmt.Errorf("orchestrator: borrow %d exceeds share (cap %d, borrowed %d)",
+			cores, p.shareCap, p.borrowed)
+	}
+	// Plan grants without mutating, then apply.
+	grants := map[string]int{}
+	need := cores
+	for _, id := range p.provider.Infra.SortedByFreeCores() {
+		if need == 0 {
+			break
+		}
+		n, _ := p.provider.Infra.Node(id)
+		take := n.FreeCores()
+		if take > need {
+			take = need
+		}
+		if take > 0 {
+			grants[id] = take
+			need -= take
+		}
+	}
+	if need > 0 {
+		return nil, fmt.Errorf("orchestrator: provider %q has only %d free cores, need %d",
+			provider, cores-need, cores)
+	}
+	for id, k := range grants {
+		if err := p.provider.Infra.Reserve(id, k); err != nil {
+			// Roll back already-applied grants.
+			for rid, rk := range grants {
+				if rid == id {
+					break
+				}
+				_ = p.provider.Infra.Release(rid, rk)
+			}
+			return nil, err
+		}
+	}
+	p.borrowed += cores
+	return grants, nil
+}
+
+// Return gives borrowed cores back to the provider.
+func (c *Cluster) Return(provider string, grants map[string]int) error {
+	p, ok := c.peers[provider]
+	if !ok {
+		return fmt.Errorf("orchestrator: no peering with %q", provider)
+	}
+	total := 0
+	for _, k := range grants {
+		total += k
+	}
+	if total <= 0 || total > p.borrowed {
+		return fmt.Errorf("orchestrator: invalid return of %d cores (borrowed %d)", total, p.borrowed)
+	}
+	for id, k := range grants {
+		if err := p.provider.Infra.Release(id, k); err != nil {
+			return err
+		}
+	}
+	p.borrowed -= total
+	return nil
+}
+
+// Borrowed returns the cores currently borrowed from provider.
+func (c *Cluster) Borrowed(provider string) int {
+	if p, ok := c.peers[provider]; ok {
+		return p.borrowed
+	}
+	return 0
+}
+
+// Federation is a set of clusters used by the what-if experiments.
+type Federation struct {
+	clusters map[string]*Cluster
+	order    []string
+}
+
+// NewFederation returns an empty federation.
+func NewFederation() *Federation { return &Federation{clusters: map[string]*Cluster{}} }
+
+// Add registers a cluster.
+func (f *Federation) Add(c *Cluster) error {
+	if _, dup := f.clusters[c.Name]; dup {
+		return fmt.Errorf("orchestrator: duplicate cluster %q", c.Name)
+	}
+	f.clusters[c.Name] = c
+	f.order = append(f.order, c.Name)
+	return nil
+}
+
+// Cluster returns a cluster by name.
+func (f *Federation) Cluster(name string) (*Cluster, error) {
+	c, ok := f.clusters[name]
+	if !ok {
+		return nil, fmt.Errorf("orchestrator: unknown cluster %q", name)
+	}
+	return c, nil
+}
+
+// Clusters returns the clusters in insertion order.
+func (f *Federation) Clusters() []*Cluster {
+	out := make([]*Cluster, 0, len(f.order))
+	for _, n := range f.order {
+		out = append(out, f.clusters[n])
+	}
+	return out
+}
+
+// TotalFree sums free cores across the federation.
+func (f *Federation) TotalFree() int {
+	t := 0
+	for _, c := range f.Clusters() {
+		t += c.LocalFree()
+	}
+	return t
+}

@@ -1,0 +1,32 @@
+package pmu
+
+import "testing"
+
+// BenchmarkEstimatePhasor measures one-cycle DFT estimation.
+func BenchmarkEstimatePhasor(b *testing.B) {
+	sig := &Signal{Amplitude: 325, Frequency: 50, Phase: 0.3}
+	e := &Estimator{SampleRate: 10000, NominalHz: 50}
+	win := e.WindowSamples()
+	samples := make([]float64, win)
+	for i := range samples {
+		samples[i] = sig.Sample(float64(i)/e.SampleRate, nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.EstimatePhasor(samples, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHIL measures a 50-frame closed loop.
+func BenchmarkHIL(b *testing.B) {
+	e := &Estimator{SampleRate: 10000, NominalHz: 50}
+	ctrl := DroopController{NominalHz: 50, Gain: 0.4}
+	for i := 0; i < b.N; i++ {
+		sig := &Signal{Amplitude: 325, Frequency: 50.5, Phase: 0}
+		if _, _, err := e.RunHIL(sig, 50, ctrl, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

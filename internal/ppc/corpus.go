@@ -1,0 +1,56 @@
+package ppc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// SyntheticCorpus generates a Software-Heritage-like corpus: nFamilies
+// source "projects", each with variantsPerFamily near-duplicate files
+// (clones with small edits — the redundancy PPC exploits), interleaved in a
+// shuffled order so that permutation quality matters. Deterministic under
+// the seed.
+func SyntheticCorpus(nFamilies, variantsPerFamily, approxFileSize int, rng *rand.Rand) []File {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	langs := []struct {
+		ext    string
+		tokens []string
+	}{
+		{".go", []string{"func ", "return ", "package ", "err != nil", "for i :=", "struct {", "interface {"}},
+		{".py", []string{"def ", "return ", "import ", "self.", "for x in", "class ", "lambda "}},
+		{".c", []string{"void ", "return;", "#include", "int main", "malloc(", "struct ", "sizeof("}},
+	}
+	var files []File
+	for fam := 0; fam < nFamilies; fam++ {
+		lang := langs[fam%len(langs)]
+		// Family base content: random token soup.
+		var base strings.Builder
+		for base.Len() < approxFileSize {
+			base.WriteString(lang.tokens[rng.Intn(len(lang.tokens))])
+			base.WriteString(fmt.Sprintf("v%d_%d ", fam, rng.Intn(50)))
+			if rng.Float64() < 0.2 {
+				base.WriteString("\n")
+			}
+		}
+		baseStr := base.String()
+		for v := 0; v < variantsPerFamily; v++ {
+			// Variant: base with a few random point edits.
+			data := []byte(baseStr)
+			edits := 1 + rng.Intn(5)
+			for e := 0; e < edits; e++ {
+				pos := rng.Intn(len(data))
+				data[pos] = byte('a' + rng.Intn(26))
+			}
+			files = append(files, File{
+				Name: fmt.Sprintf("project%03d/file%02d%s", fam, v, lang.ext),
+				Data: data,
+			})
+		}
+	}
+	// Shuffle so arrival order is uncorrelated with similarity.
+	rng.Shuffle(len(files), func(i, j int) { files[i], files[j] = files[j], files[i] })
+	return files
+}

@@ -1,0 +1,265 @@
+// Package report regenerates every table and figure of the paper from a
+// Study, in multiple formats (ASCII/Markdown/CSV for tables, ASCII/SVG/CSV
+// for figures), plus a complete textual study report. Each artifact carries
+// the paper's numbering so experiment scripts can address "Table 2" or
+// "Figure 3" directly.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/charts"
+	"repro/internal/core"
+)
+
+// Table1 builds the paper's Table 1: collected tools classified in five
+// research directions. Columns are directions; rows pad shorter columns
+// with empty cells, mirroring the paper's layout.
+func Table1(s *core.Study) *charts.Table {
+	dirs := catalog.Directions()
+	cols := make([][]string, len(dirs))
+	maxLen := 0
+	for i, d := range dirs {
+		for _, t := range s.Catalog.ToolsByDirection(d) {
+			cols[i] = append(cols[i], t.Name)
+		}
+		if len(cols[i]) > maxLen {
+			maxLen = len(cols[i])
+		}
+	}
+	tb := &charts.Table{Title: "Table 1: Collected tools classified in five research directions."}
+	for _, d := range dirs {
+		tb.Header = append(tb.Header, string(d))
+	}
+	for r := 0; r < maxLen; r++ {
+		row := make([]string, len(dirs))
+		for c := range dirs {
+			if r < len(cols[c]) {
+				row[c] = cols[c][r]
+			}
+		}
+		tb.Rows = append(tb.Rows, row)
+	}
+	return tb
+}
+
+// Table2 builds the paper's Table 2: the application × tool integration
+// matrix. Rows are tools grouped by research direction (first column holds
+// the direction label on its group's first row, as in the paper); columns
+// are application IDs; cells hold "✓" for a selection.
+func Table2(s *core.Study) *charts.Table {
+	m := s.Survey.Matrix()
+	tb := &charts.Table{
+		Title:     "Table 2: The list of collected scientific applications and the tools identified for integration.",
+		Header:    append([]string{"Direction", "Tool"}, m.AppIDs...),
+		RowGroups: map[int]string{},
+	}
+	row := 0
+	for _, d := range catalog.Directions() {
+		first := true
+		for _, t := range s.Catalog.ToolsByDirection(d) {
+			cells := make([]string, 0, len(m.AppIDs)+2)
+			if first {
+				cells = append(cells, string(d))
+				tb.RowGroups[row] = string(d)
+				first = false
+			} else {
+				cells = append(cells, "")
+			}
+			cells = append(cells, t.Name)
+			for _, app := range m.AppIDs {
+				if m.Selected[t.Name][app] {
+					cells = append(cells, "✓")
+				} else {
+					cells = append(cells, "")
+				}
+			}
+			tb.Rows = append(tb.Rows, cells)
+			row++
+		}
+	}
+	return tb
+}
+
+// Table2Matrix builds the Table 2 data as an SVG-renderable incidence
+// matrix (rows = tools colored by research direction, columns = apps).
+func Table2Matrix(s *core.Study) *charts.Matrix {
+	m := s.Survey.Matrix()
+	out := &charts.Matrix{
+		Title:     "Table 2 as incidence matrix: tools × applications",
+		ColLabels: m.AppIDs,
+	}
+	for _, d := range catalog.Directions() {
+		for _, t := range s.Catalog.ToolsByDirection(d) {
+			out.RowLabels = append(out.RowLabels, t.Name)
+			out.RowGroups = append(out.RowGroups, d.Index())
+			row := make([]bool, len(m.AppIDs))
+			for c, app := range m.AppIDs {
+				row[c] = m.Selected[t.Name][app]
+			}
+			out.Cells = append(out.Cells, row)
+		}
+	}
+	return out
+}
+
+// Fig1 renders the Spoke 1 organizational picture (the paper's Figure 1)
+// as structured text: flagships, living labs, leaders and participants.
+func Fig1(s *core.Study) string {
+	var b strings.Builder
+	b.WriteString("Figure 1: Big picture of Spoke 1 - FutureHPC & Big Data\n\n")
+	b.WriteString("Flagships:\n")
+	for _, fl := range s.Catalog.Flagships {
+		fmt.Fprintf(&b, "  %s) %s (coord. %s)\n", fl.ID, fl.Name, fl.Coordinator)
+	}
+	b.WriteString("\nICSC Spokes:\n")
+	for _, sp := range s.Catalog.Spokes {
+		fmt.Fprintf(&b, "  Spoke %2d — %s\n", sp.Number, sp.Name)
+	}
+	b.WriteString("\nParticipating institutions contributing tools to FL3:\n")
+	ids := make([]string, 0, len(s.Catalog.Institutions))
+	for _, in := range s.Catalog.Institutions {
+		ids = append(ids, fmt.Sprintf("%s (%s)", in.ID, in.Name))
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "  - %s\n", id)
+	}
+	return b.String()
+}
+
+// Fig2 builds the paper's Figure 2 pie chart: tool distribution over the
+// five research directions (3/7/3/6/6).
+func Fig2(s *core.Study) *charts.Pie {
+	d := s.ToolDistribution()
+	p := &charts.Pie{Title: "Figure 2: Tool distribution over the five identified research domains"}
+	for _, dir := range catalog.Directions() {
+		p.Slices = append(p.Slices, charts.Slice{Label: string(dir), Value: d.Count(string(dir))})
+	}
+	return p
+}
+
+// Fig3 builds the paper's Figure 3 histogram: how many research directions
+// are covered by the tools of a single institution.
+func Fig3(s *core.Study) *charts.BarChart {
+	h := s.InstitutionCoverage()
+	c := &charts.BarChart{
+		Title:  "Figure 3: Research directions covered by the tools of a single institution",
+		XLabel: "# Covered research directions",
+		YLabel: "# Research institutions",
+	}
+	values, counts := h.Buckets(1, len(catalog.Directions()))
+	for i, v := range values {
+		c.Bars = append(c.Bars, charts.Bar{Label: fmt.Sprint(v), Value: counts[i]})
+	}
+	return c
+}
+
+// Fig4 builds the paper's Figure 4 pie chart: distribution of the tools
+// selected for integration over the five research domains (4/11/1/6/6).
+func Fig4(s *core.Study) (*charts.Pie, error) {
+	d, err := s.VoteDistribution()
+	if err != nil {
+		return nil, err
+	}
+	p := &charts.Pie{Title: "Figure 4: Tools selected for integration over the five identified research domains"}
+	for _, dir := range catalog.Directions() {
+		p.Slices = append(p.Slices, charts.Slice{Label: string(dir), Value: d.Count(string(dir))})
+	}
+	return p, nil
+}
+
+// FigE1 builds the extension figure (not in the paper): tools per reference
+// publication year — the bibliometric recency view behind the abstract's
+// "still immature but promising" remark.
+func FigE1(s *core.Study) *charts.BarChart {
+	rep := s.Maturity()
+	c := &charts.BarChart{
+		Title:  "Extension figure E1: collected tools per reference publication year",
+		XLabel: "Publication year",
+		YLabel: "# Tools",
+	}
+	years := rep.Years()
+	if len(years) == 0 {
+		return c
+	}
+	for y := years[0]; y <= years[len(years)-1]; y++ {
+		c.Bars = append(c.Bars, charts.Bar{Label: fmt.Sprint(y), Value: rep.YearCounts[y]})
+	}
+	return c
+}
+
+// Full renders the complete study report: protocol, all tables and figures
+// in ASCII form, and the synthesized answers to Q1–Q3.
+func Full(s *core.Study) (string, error) {
+	var b strings.Builder
+	b.WriteString("A Systematic Mapping Study of Italian Research on Workflows — reproduction report\n")
+	b.WriteString(strings.Repeat("=", 82) + "\n\n")
+	fmt.Fprintf(&b, "Scope: %s\n\nResearch questions:\n", s.Protocol.Scope)
+	for _, q := range s.Protocol.Questions {
+		fmt.Fprintf(&b, "  %s: %s\n", q.ID, q.Text)
+	}
+	fmt.Fprintf(&b, "\nDataset: %s\n\n", s.Catalog)
+
+	b.WriteString(Fig1(s))
+	b.WriteString("\n")
+
+	t1, err := Table1(s).ASCII()
+	if err != nil {
+		return "", fmt.Errorf("report: table 1: %w", err)
+	}
+	b.WriteString(t1 + "\n")
+
+	f2, err := Fig2(s).ASCII(40)
+	if err != nil {
+		return "", fmt.Errorf("report: figure 2: %w", err)
+	}
+	b.WriteString(f2 + "\n")
+
+	f3, err := Fig3(s).ASCII()
+	if err != nil {
+		return "", fmt.Errorf("report: figure 3: %w", err)
+	}
+	b.WriteString(f3 + "\n")
+
+	t2, err := Table2(s).ASCII()
+	if err != nil {
+		return "", fmt.Errorf("report: table 2: %w", err)
+	}
+	b.WriteString(t2 + "\n")
+
+	fig4, err := Fig4(s)
+	if err != nil {
+		return "", err
+	}
+	f4, err := fig4.ASCII(40)
+	if err != nil {
+		return "", fmt.Errorf("report: figure 4: %w", err)
+	}
+	b.WriteString(f4 + "\n")
+
+	answers, err := s.Answers()
+	if err != nil {
+		return "", err
+	}
+	b.WriteString("Discussion\n----------\n")
+	for _, a := range answers {
+		fmt.Fprintf(&b, "\n%s. %s\n%s\n", a.Question.ID, a.Question.Text, a.Summary)
+		for _, f := range a.Findings {
+			fmt.Fprintf(&b, "  - %s\n", f)
+		}
+	}
+
+	cm := core.EvaluateClassifier(s.Catalog)
+	fmt.Fprintf(&b, "\nClassification validation (keyword classifier vs manual labels): accuracy %.0f%%\n%s",
+		cm.Accuracy()*100, cm)
+
+	b.WriteString("\nExtension: tool maturity (reference publication recency)\n")
+	for _, line := range s.MaturitySummary() {
+		fmt.Fprintf(&b, "  - %s\n", line)
+	}
+	return b.String(), nil
+}

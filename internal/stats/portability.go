@@ -1,0 +1,78 @@
+package stats
+
+import "fmt"
+
+// This file implements the performance-portability metric of Pennycook,
+// Sewall and Lee ("Implications of a metric for performance portability",
+// FGCS 2019), which the paper cites in Section 2.4 as the definition of
+// performance portability. The metric is the harmonic mean of an
+// application's performance efficiency across a platform set, and is zero if
+// the application fails to run on any platform in the set.
+
+// PlatformEfficiency records an application's performance efficiency on one
+// platform. Efficiency is a fraction in [0,1]: achieved performance divided
+// by the best-known (architectural or application-best) performance on that
+// platform. Supported=false marks a platform the application cannot run on.
+type PlatformEfficiency struct {
+	Platform   string
+	Efficiency float64
+	Supported  bool
+}
+
+// PerformancePortability computes the Pennycook PP metric over a platform
+// set. It returns 0 when any platform is unsupported (per the metric's
+// definition) and an error when the set is empty or an efficiency is outside
+// (0,1] on a supported platform.
+func PerformancePortability(effs []PlatformEfficiency) (float64, error) {
+	if len(effs) == 0 {
+		return 0, ErrEmpty
+	}
+	var inv float64
+	for _, e := range effs {
+		if !e.Supported {
+			return 0, nil
+		}
+		if e.Efficiency <= 0 || e.Efficiency > 1 {
+			return 0, fmt.Errorf("stats: efficiency %v on %q outside (0,1]", e.Efficiency, e.Platform)
+		}
+		inv += 1 / e.Efficiency
+	}
+	return float64(len(effs)) / inv, nil
+}
+
+// PortabilityProfile compares several applications' PP values over the same
+// platform set, as a performance-portability library evaluation would.
+type PortabilityProfile struct {
+	Application string
+	PP          float64
+}
+
+// RankPortability computes and sorts PP for a map of application →
+// per-platform efficiencies, highest PP first. Applications with invalid
+// efficiency data are skipped and reported in the error (joined).
+func RankPortability(apps map[string][]PlatformEfficiency) ([]PortabilityProfile, error) {
+	out := make([]PortabilityProfile, 0, len(apps))
+	var firstErr error
+	for name, effs := range apps {
+		pp, err := PerformancePortability(effs)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("stats: application %q: %w", name, err)
+			}
+			continue
+		}
+		out = append(out, PortabilityProfile{Application: name, PP: pp})
+	}
+	// Insertion sort by PP descending, name ascending for determinism.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if b.PP > a.PP || (b.PP == a.PP && b.Application < a.Application) {
+				out[j-1], out[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return out, firstErr
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPerformancePortability(t *testing.T) {
+	// Harmonic mean of 0.5 and 1.0 is 2/3.
+	pp, err := PerformancePortability([]PlatformEfficiency{
+		{Platform: "cpu", Efficiency: 0.5, Supported: true},
+		{Platform: "gpu", Efficiency: 1.0, Supported: true},
+	})
+	if err != nil || !almostEqual(pp, 2.0/3.0, 1e-12) {
+		t.Errorf("PP = %v, %v; want 2/3", pp, err)
+	}
+
+	// Unsupported platform zeroes the metric (Pennycook definition).
+	pp, err = PerformancePortability([]PlatformEfficiency{
+		{Platform: "cpu", Efficiency: 0.9, Supported: true},
+		{Platform: "fpga", Supported: false},
+	})
+	if err != nil || pp != 0 {
+		t.Errorf("PP with unsupported platform = %v, %v; want 0", pp, err)
+	}
+
+	if _, err := PerformancePortability(nil); err != ErrEmpty {
+		t.Errorf("empty set err = %v", err)
+	}
+	if _, err := PerformancePortability([]PlatformEfficiency{{Platform: "x", Efficiency: 1.5, Supported: true}}); err == nil {
+		t.Error("efficiency > 1 should error")
+	}
+	if _, err := PerformancePortability([]PlatformEfficiency{{Platform: "x", Efficiency: 0, Supported: true}}); err == nil {
+		t.Error("efficiency 0 on supported platform should error")
+	}
+}
+
+func TestPPBoundedByMinEfficiency(t *testing.T) {
+	// Property: the harmonic mean lies between the minimum and maximum
+	// of the per-platform efficiencies.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		effs := make([]PlatformEfficiency, n)
+		lo, hi := 1.0, 0.0
+		for i := range effs {
+			e := 0.05 + 0.95*rng.Float64()
+			effs[i] = PlatformEfficiency{Platform: "p", Efficiency: e, Supported: true}
+			if e < lo {
+				lo = e
+			}
+			if e > hi {
+				hi = e
+			}
+		}
+		pp, err := PerformancePortability(effs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pp < lo-1e-9 || pp > hi+1e-9 {
+			t.Fatalf("PP %v outside [min=%v, max=%v]", pp, lo, hi)
+		}
+	}
+}
+
+func TestRankPortability(t *testing.T) {
+	apps := map[string][]PlatformEfficiency{
+		"portable": {
+			{Platform: "cpu", Efficiency: 0.8, Supported: true},
+			{Platform: "gpu", Efficiency: 0.8, Supported: true},
+		},
+		"specialized": {
+			{Platform: "cpu", Efficiency: 0.99, Supported: true},
+			{Platform: "gpu", Efficiency: 0.1, Supported: true},
+		},
+		"broken": {
+			{Platform: "cpu", Efficiency: 0.9, Supported: true},
+			{Platform: "gpu", Supported: false},
+		},
+	}
+	ranked, err := RankPortability(apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 3 {
+		t.Fatalf("got %d profiles", len(ranked))
+	}
+	if ranked[0].Application != "portable" {
+		t.Errorf("top = %q, want portable", ranked[0].Application)
+	}
+	if ranked[2].Application != "broken" || ranked[2].PP != 0 {
+		t.Errorf("bottom = %+v, want broken with PP 0", ranked[2])
+	}
+}
+
+func TestRankPortabilityErrorPropagation(t *testing.T) {
+	apps := map[string][]PlatformEfficiency{
+		"bad": {{Platform: "cpu", Efficiency: 2, Supported: true}},
+		"ok":  {{Platform: "cpu", Efficiency: 1, Supported: true}},
+	}
+	ranked, err := RankPortability(apps)
+	if err == nil {
+		t.Error("expected error for bad efficiency")
+	}
+	if len(ranked) != 1 || ranked[0].Application != "ok" {
+		t.Errorf("ranked = %+v", ranked)
+	}
+}

@@ -1,0 +1,74 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+func benchWork(x int) int {
+	acc := x
+	for i := 0; i < 500; i++ {
+		acc = acc*31 + i
+	}
+	return acc
+}
+
+// BenchmarkFarm measures Map throughput at several parallelism degrees.
+func BenchmarkFarm(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				src := Generate(context.Background(), 1000, func(i int) int { return i })
+				if n, err := Map(src, benchWork, Workers(workers)).Count(); err != nil || n != 1000 {
+					b.Fatalf("n=%d err=%v", n, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFarmOrdered quantifies the reordering overhead.
+func BenchmarkFarmOrdered(b *testing.B) {
+	for _, ordered := range []bool{false, true} {
+		name := "unordered"
+		opts := []Option{Workers(4)}
+		if ordered {
+			name = "ordered"
+			opts = append(opts, Ordered())
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				src := Generate(context.Background(), 1000, func(i int) int { return i })
+				if n, err := Map(src, benchWork, opts...).Count(); err != nil || n != 1000 {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWindowedPipeline measures the keyed tumbling-window pipeline.
+func BenchmarkWindowedPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := context.Background()
+		src := Generate(ctx, 10000, func(i int) float64 { return float64(i % 97) })
+		keyed := KeyBy(ctx, src, func(v float64) string {
+			if v < 50 {
+				return "low"
+			}
+			return "high"
+		})
+		wins := TumblingCount(keyed, 100)
+		n, err := AggregateWindows(wins, func(w Window[float64]) float64 {
+			s := 0.0
+			for _, v := range w.Items {
+				s += v
+			}
+			return s / float64(len(w.Items))
+		}, Workers(4)).Count()
+		if err != nil || n == 0 {
+			b.Fatalf("n=%d err=%v", n, err)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package telemetry implements the performance-monitoring layer the
+// paper's discussion (Section 4, Q1) flags as missing from the surveyed
+// workflow ecosystem: a small, concurrency-safe metrics registry with
+// counters, gauges and sample series, snapshots, and a text rendering —
+// enough for WMS components (schedulers, runtimes, simulators) to expose
+// their behaviour uniformly.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// Registry holds named metrics. The zero value is not usable; call New.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+	series   map[string][]float64
+	// SeriesCap bounds the samples kept per series (oldest dropped).
+	SeriesCap int
+}
+
+// New returns an empty registry keeping up to 4096 samples per series.
+func New() *Registry {
+	return &Registry{
+		counters:  map[string]int64{},
+		gauges:    map[string]float64{},
+		series:    map[string][]float64{},
+		SeriesCap: 4096,
+	}
+}
+
+// Inc adds delta to a counter (creating it at zero).
+func (r *Registry) Inc(name string, delta int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters[name] += delta
+}
+
+// Counter reads a counter.
+func (r *Registry) Counter(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// SetGauge records the current value of a gauge.
+func (r *Registry) SetGauge(name string, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = v
+}
+
+// Gauge reads a gauge (0 if unset).
+func (r *Registry) Gauge(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name]
+}
+
+// Observe appends a sample to a series (e.g. a latency).
+func (r *Registry) Observe(name string, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := append(r.series[name], v)
+	if r.SeriesCap > 0 && len(s) > r.SeriesCap {
+		s = s[len(s)-r.SeriesCap:]
+	}
+	r.series[name] = s
+}
+
+// Summary returns the descriptive statistics of a series.
+func (r *Registry) Summary(name string) (stats.Summary, error) {
+	r.mu.Lock()
+	samples := append([]float64(nil), r.series[name]...)
+	r.mu.Unlock()
+	return stats.Summarize(samples)
+}
+
+// Snapshot is an immutable copy of the registry's state.
+type Snapshot struct {
+	Counters map[string]int64
+	Gauges   map[string]float64
+	Series   map[string]stats.Summary
+}
+
+// Snapshot captures the current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := Snapshot{
+		Counters: make(map[string]int64, len(r.counters)),
+		Gauges:   make(map[string]float64, len(r.gauges)),
+		Series:   make(map[string]stats.Summary, len(r.series)),
+	}
+	for k, v := range r.counters {
+		snap.Counters[k] = v
+	}
+	for k, v := range r.gauges {
+		snap.Gauges[k] = v
+	}
+	for k, s := range r.series {
+		if sum, err := stats.Summarize(s); err == nil {
+			snap.Series[k] = sum
+		}
+	}
+	return snap
+}
+
+// String renders the snapshot sorted by metric name.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&b, "counter %-32s %d\n", k, s.Counters[k])
+	}
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&b, "gauge   %-32s %g\n", k, s.Gauges[k])
+	}
+	names = names[:0]
+	for k := range s.Series {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&b, "series  %-32s %s\n", k, s.Series[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountersAndGauges(t *testing.T) {
+	r := New()
+	r.Inc("requests", 1)
+	r.Inc("requests", 2)
+	if got := r.Counter("requests"); got != 3 {
+		t.Errorf("counter = %d", got)
+	}
+	if got := r.Counter("missing"); got != 0 {
+		t.Errorf("missing counter = %d", got)
+	}
+	r.SetGauge("queue_depth", 7)
+	r.SetGauge("queue_depth", 5)
+	if got := r.Gauge("queue_depth"); got != 5 {
+		t.Errorf("gauge = %v", got)
+	}
+}
+
+func TestSeriesSummary(t *testing.T) {
+	r := New()
+	for i := 1; i <= 100; i++ {
+		r.Observe("latency", float64(i))
+	}
+	s, err := r.Summary("latency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 100 || s.Mean != 50.5 || s.Min != 1 || s.Max != 100 {
+		t.Errorf("summary = %+v", s)
+	}
+	if _, err := r.Summary("missing"); err == nil {
+		t.Error("missing series accepted")
+	}
+}
+
+func TestSeriesCap(t *testing.T) {
+	r := New()
+	r.SeriesCap = 10
+	for i := 0; i < 100; i++ {
+		r.Observe("s", float64(i))
+	}
+	s, err := r.Summary("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 10 || s.Min != 90 {
+		t.Errorf("cap not applied: %+v", s)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	r := New()
+	r.Inc("c", 1)
+	r.SetGauge("g", 2)
+	r.Observe("s", 3)
+	snap := r.Snapshot()
+	r.Inc("c", 10)
+	if snap.Counters["c"] != 1 {
+		t.Error("snapshot mutated by later writes")
+	}
+	if snap.Gauges["g"] != 2 || snap.Series["s"].N != 1 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+func TestSnapshotRendering(t *testing.T) {
+	r := New()
+	r.Inc("faas.invocations", 42)
+	r.SetGauge("nodes.active", 3)
+	r.Observe("latency_s", 0.25)
+	out := r.Snapshot().String()
+	for _, want := range []string{"counter", "faas.invocations", "42", "gauge", "series", "latency_s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentSafety(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Inc("n", 1)
+				r.Observe("v", float64(j))
+				r.SetGauge("g", float64(j))
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n"); got != 8000 {
+		t.Errorf("counter = %d", got)
+	}
+}

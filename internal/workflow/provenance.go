@@ -1,0 +1,181 @@
+package workflow
+
+// The paper's discussion (Section 4, Q1) flags "performance monitoring,
+// provenance collection, fault tolerance, and security" as absent from the
+// surveyed ecosystem and "a relevant goal for the project's subsequent
+// phases". This file implements the first two for the workflow engine:
+//
+//   - Provenance: a W3C-PROV-flavoured record of every step execution
+//     (activity), its inputs (usage), outputs (generation) and attempts —
+//     exportable as JSON;
+//   - Fault tolerance: per-step retry with bounded attempts in the
+//     concurrent runner (RunWithProvenance), recording every attempt.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Attempt is one execution try of a step.
+type Attempt struct {
+	Number  int     `json:"number"`
+	Error   string  `json:"error,omitempty"`
+	Elapsed float64 `json:"elapsed_s"`
+}
+
+// Activity is the provenance record of one step.
+type Activity struct {
+	StepID    string    `json:"step_id"`
+	Used      []string  `json:"used,omitempty"` // upstream step IDs (wasInformedBy)
+	Attempts  []Attempt `json:"attempts"`
+	Succeeded bool      `json:"succeeded"`
+}
+
+// Provenance is the full run record.
+type Provenance struct {
+	Workflow   string     `json:"workflow"`
+	Activities []Activity `json:"activities"`
+}
+
+// WriteJSON serializes the provenance document.
+func (p *Provenance) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// Activity returns the record for a step (nil if absent).
+func (p *Provenance) Activity(stepID string) *Activity {
+	for i := range p.Activities {
+		if p.Activities[i].StepID == stepID {
+			return &p.Activities[i]
+		}
+	}
+	return nil
+}
+
+// TotalAttempts sums attempts across all activities.
+func (p *Provenance) TotalAttempts() int {
+	n := 0
+	for _, a := range p.Activities {
+		n += len(a.Attempts)
+	}
+	return n
+}
+
+// RetryPolicy bounds fault-tolerant re-execution.
+type RetryPolicy struct {
+	// MaxAttempts per step (1 = no retry). Values < 1 become 1.
+	MaxAttempts int
+	// Retryable decides whether an error is worth retrying (nil = all).
+	Retryable func(error) bool
+}
+
+func (rp RetryPolicy) attempts() int {
+	if rp.MaxAttempts < 1 {
+		return 1
+	}
+	return rp.MaxAttempts
+}
+
+func (rp RetryPolicy) retryable(err error) bool {
+	if rp.Retryable == nil {
+		return true
+	}
+	return rp.Retryable(err)
+}
+
+// RunWithProvenance executes the workflow like Runner.Run but wraps every
+// step body with the retry policy and records provenance. The returned
+// provenance lists activities in workflow insertion order, including steps
+// that were skipped (zero attempts).
+func (r *Runner) RunWithProvenance(ctx context.Context, wf *Workflow, bodies map[string]StepFunc, rp RetryPolicy) (map[string]Result, *Provenance, error) {
+	if err := wf.Validate(); err != nil {
+		return nil, nil, err
+	}
+	prov := &Provenance{Workflow: wf.Name}
+	var mu sync.Mutex
+	records := map[string]*Activity{}
+
+	wrapped := map[string]StepFunc{}
+	for _, s := range wf.Steps() {
+		body := bodies[s.ID]
+		if body == nil {
+			return nil, nil, fmt.Errorf("workflow: no body for step %q", s.ID)
+		}
+		stepID := s.ID
+		used := append([]string(nil), s.After...)
+		sort.Strings(used)
+		wrapped[stepID] = func(ctx context.Context, deps map[string]any) (any, error) {
+			act := &Activity{StepID: stepID, Used: used}
+			var lastErr error
+			var out any
+			for attempt := 1; attempt <= rp.attempts(); attempt++ {
+				start := time.Now()
+				v, err := body(ctx, deps)
+				rec := Attempt{Number: attempt, Elapsed: time.Since(start).Seconds()}
+				if err != nil {
+					rec.Error = err.Error()
+				}
+				act.Attempts = append(act.Attempts, rec)
+				if err == nil {
+					act.Succeeded = true
+					out, lastErr = v, nil
+					break
+				}
+				lastErr = err
+				if ctx.Err() != nil || !rp.retryable(err) {
+					break
+				}
+			}
+			mu.Lock()
+			records[stepID] = act
+			mu.Unlock()
+			if lastErr != nil {
+				return nil, lastErr
+			}
+			return out, nil
+		}
+	}
+
+	results, runErr := r.Run(ctx, wf, wrapped)
+	for _, s := range wf.Steps() {
+		if act, ok := records[s.ID]; ok {
+			prov.Activities = append(prov.Activities, *act)
+			continue
+		}
+		// Never executed (skipped): empty activity.
+		used := append([]string(nil), s.After...)
+		sort.Strings(used)
+		prov.Activities = append(prov.Activities, Activity{StepID: s.ID, Used: used})
+	}
+	return results, prov, runErr
+}
+
+// FlakyBody wraps a body so that it fails the first n calls with errFail —
+// the failure-injection helper used by fault-tolerance tests and benches.
+func FlakyBody(body StepFunc, n int, errFail error) StepFunc {
+	if errFail == nil {
+		errFail = errors.New("workflow: injected failure")
+	}
+	var mu sync.Mutex
+	remaining := n
+	return func(ctx context.Context, deps map[string]any) (any, error) {
+		mu.Lock()
+		fail := remaining > 0
+		if fail {
+			remaining--
+		}
+		mu.Unlock()
+		if fail {
+			return nil, errFail
+		}
+		return body(ctx, deps)
+	}
+}

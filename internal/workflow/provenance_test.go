@@ -1,0 +1,152 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRunWithProvenanceHappyPath(t *testing.T) {
+	w := diamond(t)
+	bodies := map[string]StepFunc{
+		"a": constBody(1), "b": constBody(2), "c": constBody(3), "d": constBody(4),
+	}
+	var r Runner
+	res, prov, err := r.RunWithProvenance(context.Background(), w, bodies, RetryPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["d"].Value != 4 {
+		t.Errorf("d = %v", res["d"].Value)
+	}
+	if len(prov.Activities) != 4 {
+		t.Fatalf("activities = %d", len(prov.Activities))
+	}
+	for _, a := range prov.Activities {
+		if !a.Succeeded || len(a.Attempts) != 1 {
+			t.Errorf("activity %s: %+v", a.StepID, a)
+		}
+	}
+	// Lineage recorded.
+	d := prov.Activity("d")
+	if d == nil || len(d.Used) != 2 || d.Used[0] != "b" || d.Used[1] != "c" {
+		t.Errorf("d lineage = %+v", d)
+	}
+	if prov.TotalAttempts() != 4 {
+		t.Errorf("total attempts = %d", prov.TotalAttempts())
+	}
+}
+
+// Fault tolerance: a step failing twice succeeds on the third attempt under
+// MaxAttempts 3, and the whole workflow completes.
+func TestRetryRecoversTransientFailures(t *testing.T) {
+	w := diamond(t)
+	bodies := map[string]StepFunc{
+		"a": constBody(1),
+		"b": FlakyBody(constBody(2), 2, errors.New("transient")),
+		"c": constBody(3),
+		"d": constBody(4),
+	}
+	var r Runner
+	res, prov, err := r.RunWithProvenance(context.Background(), w, bodies, RetryPolicy{MaxAttempts: 3})
+	if err != nil {
+		t.Fatalf("workflow failed despite retries: %v", err)
+	}
+	if res["d"].Err != nil {
+		t.Errorf("d err = %v", res["d"].Err)
+	}
+	b := prov.Activity("b")
+	if len(b.Attempts) != 3 || !b.Succeeded {
+		t.Errorf("b attempts = %+v", b)
+	}
+	if b.Attempts[0].Error == "" || b.Attempts[2].Error != "" {
+		t.Errorf("attempt errors = %+v", b.Attempts)
+	}
+}
+
+func TestRetryExhaustionPoisonsDependents(t *testing.T) {
+	w := diamond(t)
+	bodies := map[string]StepFunc{
+		"a": constBody(1),
+		"b": FlakyBody(constBody(2), 99, nil),
+		"c": constBody(3),
+		"d": constBody(4),
+	}
+	r := Runner{ContinueOnError: true}
+	res, prov, err := r.RunWithProvenance(context.Background(), w, bodies, RetryPolicy{MaxAttempts: 2})
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if !errors.Is(res["d"].Err, ErrSkipped) {
+		t.Errorf("d err = %v", res["d"].Err)
+	}
+	b := prov.Activity("b")
+	if len(b.Attempts) != 2 || b.Succeeded {
+		t.Errorf("b = %+v", b)
+	}
+	// Skipped step has zero attempts.
+	if d := prov.Activity("d"); len(d.Attempts) != 0 || d.Succeeded {
+		t.Errorf("d activity = %+v", d)
+	}
+}
+
+func TestRetryableFilter(t *testing.T) {
+	fatal := errors.New("fatal")
+	w := New("one")
+	w.MustAdd(Step{ID: "x"})
+	bodies := map[string]StepFunc{"x": FlakyBody(constBody(1), 99, fatal)}
+	var r Runner
+	_, prov, err := r.RunWithProvenance(context.Background(), w, bodies, RetryPolicy{
+		MaxAttempts: 5,
+		Retryable:   func(err error) bool { return !errors.Is(err, fatal) },
+	})
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if got := len(prov.Activity("x").Attempts); got != 1 {
+		t.Errorf("non-retryable error retried %d times", got)
+	}
+}
+
+func TestProvenanceJSON(t *testing.T) {
+	w := diamond(t)
+	bodies := map[string]StepFunc{
+		"a": constBody(1), "b": constBody(2), "c": constBody(3), "d": constBody(4),
+	}
+	var r Runner
+	_, prov, err := r.RunWithProvenance(context.Background(), w, bodies, RetryPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := prov.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	js := sb.String()
+	for _, want := range []string{`"workflow": "diamond"`, `"step_id": "d"`, `"used"`, `"attempts"`} {
+		if !strings.Contains(js, want) {
+			t.Errorf("provenance JSON missing %q", want)
+		}
+	}
+}
+
+func TestRunWithProvenanceMissingBody(t *testing.T) {
+	w := diamond(t)
+	var r Runner
+	if _, _, err := r.RunWithProvenance(context.Background(), w, map[string]StepFunc{"a": constBody(1)}, RetryPolicy{}); err == nil {
+		t.Error("missing body accepted")
+	}
+}
+
+func TestRetryPolicyDefaults(t *testing.T) {
+	if (RetryPolicy{}).attempts() != 1 {
+		t.Error("default attempts should be 1")
+	}
+	if (RetryPolicy{MaxAttempts: -5}).attempts() != 1 {
+		t.Error("negative attempts should clamp to 1")
+	}
+	if !(RetryPolicy{}).retryable(errors.New("x")) {
+		t.Error("nil filter should retry everything")
+	}
+}

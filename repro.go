@@ -1,0 +1,78 @@
+// Package repro is the public API of the reproduction of "A Systematic
+// Mapping Study of Italian Research on Workflows" (Aldinucci et al.,
+// SC-W 2023).
+//
+// The package re-exports the study engine (catalog, classification, survey,
+// research-question answers) and the artifact generators that regenerate
+// every table and figure of the paper. The simulated substrates that ground
+// the study (continuum, workflow, orchestrator, stream, faas, energy,
+// bigdata, divexplorer, interactive, netlink, capio, ppc) live under
+// internal/ and are exercised by the examples, the commands, and the
+// benchmark harness in bench_test.go.
+//
+// Quickstart:
+//
+//	study, err := repro.NewStudy()
+//	// Figure 2: 3/7/3/6/6 tools per direction.
+//	fmt.Println(study.ToolDistribution())
+//	// The complete report (all tables, figures and Q1-Q3 answers):
+//	text, err := repro.FullReport(study)
+package repro
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/charts"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// Study is the assembled mapping study (protocol + catalog + survey).
+type Study = core.Study
+
+// Catalog is the study dataset (tools, applications, institutions).
+type Catalog = catalog.Catalog
+
+// Direction is one of the five research directions.
+type Direction = catalog.Direction
+
+// The five research directions, in the paper's order.
+const (
+	InteractiveComputing   = catalog.InteractiveComputing
+	Orchestration          = catalog.Orchestration
+	EnergyEfficiency       = catalog.EnergyEfficiency
+	PerformancePortability = catalog.PerformancePortability
+	BigDataManagement      = catalog.BigDataManagement
+)
+
+// NewStudy assembles the study over the embedded ICSC dataset.
+func NewStudy() (*Study, error) { return core.Default() }
+
+// NewStudyFrom assembles a study over a custom catalog (e.g. loaded from
+// JSON via DefaultCatalog-compatible files), validating it first.
+func NewStudyFrom(c *Catalog) (*Study, error) { return core.NewStudy(c) }
+
+// DefaultCatalog returns a fresh copy of the embedded ICSC dataset: 25
+// tools, 10 applications, 9 institutions.
+func DefaultCatalog() *Catalog { return catalog.Default() }
+
+// Directions returns the five research directions in canonical order.
+func Directions() []Direction { return catalog.Directions() }
+
+// FullReport renders the complete study report: Figure 1, Tables 1-2,
+// Figures 2-4 (ASCII) and the synthesized answers to Q1-Q3.
+func FullReport(s *Study) (string, error) { return report.Full(s) }
+
+// Table1 builds the paper's Table 1 (tool classification).
+func Table1(s *Study) *charts.Table { return report.Table1(s) }
+
+// Table2 builds the paper's Table 2 (integration matrix).
+func Table2(s *Study) *charts.Table { return report.Table2(s) }
+
+// Fig2 builds the paper's Figure 2 pie chart (tool distribution).
+func Fig2(s *Study) *charts.Pie { return report.Fig2(s) }
+
+// Fig3 builds the paper's Figure 3 histogram (institution coverage).
+func Fig3(s *Study) *charts.BarChart { return report.Fig3(s) }
+
+// Fig4 builds the paper's Figure 4 pie chart (integration votes).
+func Fig4(s *Study) (*charts.Pie, error) { return report.Fig4(s) }

@@ -1,0 +1,71 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	study, err := repro.NewStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(study.Catalog.Tools); got != 25 {
+		t.Errorf("tools = %d", got)
+	}
+	full, err := repro.FullReport(study)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 1", "Table 2", "Figure 2", "Figure 3", "Figure 4", "Q3"} {
+		if !strings.Contains(full, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestFacadeArtifacts(t *testing.T) {
+	study, err := repro.NewStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repro.Fig2(study).Total() != 25 {
+		t.Error("Fig2 total")
+	}
+	f4, err := repro.Fig4(study)
+	if err != nil || f4.Total() != 28 {
+		t.Errorf("Fig4 total: %v", err)
+	}
+	if got := len(repro.Fig3(study).Bars); got != 5 {
+		t.Errorf("Fig3 bars = %d", got)
+	}
+	if got := len(repro.Table1(study).Header); got != 5 {
+		t.Errorf("Table1 header = %d", got)
+	}
+	if got := len(repro.Table2(study).Rows); got != 25 {
+		t.Errorf("Table2 rows = %d", got)
+	}
+	if got := len(repro.Directions()); got != 5 {
+		t.Errorf("directions = %d", got)
+	}
+}
+
+func TestFacadeCustomCatalog(t *testing.T) {
+	c := repro.DefaultCatalog()
+	c.Title = "custom"
+	s, err := repro.NewStudyFrom(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s.Catalog.String(), "custom") {
+		t.Error("custom catalog not used")
+	}
+	// Validation still applies.
+	bad := repro.DefaultCatalog()
+	bad.Tools[0].Direction = "nope"
+	if _, err := repro.NewStudyFrom(bad); err == nil {
+		t.Error("invalid catalog accepted")
+	}
+}
