@@ -3,9 +3,11 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench artifacts examples outputs clean
+.PHONY: all build vet test race bench bench-compare artifacts examples outputs clean
 
-all: build vet test
+# race is part of all: the parallel substrate (internal/par) and every hot
+# path wired onto it must stay clean under the race detector.
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -21,6 +23,24 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Run the sequential-vs-parallel benchmark pairs (…Seq / …Par) and record
+# them as BENCH_par.json: [{name, ns_per_op, allocs_per_op}, …].
+bench-compare:
+	$(GO) test -run '^$$' -bench '(Seq|Par)$$' -benchmem ./... | tee bench_par.txt
+	awk 'BEGIN { print "[" } \
+	  /^Benchmark.*(Seq|Par)(-[0-9]+)?[ \t]/ { \
+	    name=$$1; ns=""; allocs=""; \
+	    for (i = 2; i < NF; i++) { \
+	      if ($$(i+1) == "ns/op") ns = $$i; \
+	      if ($$(i+1) == "allocs/op") allocs = $$i; \
+	    } \
+	    if (ns == "") next; \
+	    if (n++) printf ",\n"; \
+	    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs; \
+	  } \
+	  END { print "\n]" }' bench_par.txt > BENCH_par.json
+	@echo wrote BENCH_par.json
 
 # Regenerate every paper artifact (tables 1-2, figures 1-4, full report)
 # in every supported format under artifacts/.
@@ -43,4 +63,4 @@ outputs:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 clean:
-	rm -rf artifacts/ test_output.txt bench_output.txt
+	rm -rf artifacts/ test_output.txt bench_output.txt bench_par.txt BENCH_par.json

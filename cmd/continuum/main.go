@@ -59,7 +59,9 @@ func run(args []string, out io.Writer) error {
 }
 
 // faultsScenario sweeps step-failure probabilities and reports the makespan
-// inflation retries cause (the fault-tolerance what-if).
+// inflation retries cause (the fault-tolerance what-if). Candidates score
+// concurrently on the par worker pool with one seed-split RNG each, so the
+// table is identical for any pool size.
 func faultsScenario(out io.Writer, seed int64) error {
 	mkWf := func() *workflow.Workflow {
 		wf := workflow.New("pipeline")
@@ -76,19 +78,13 @@ func faultsScenario(out io.Writer, seed int64) error {
 	}
 	fmt.Fprintln(out, "Fault-tolerance scenario: step failure probability vs makespan (retry on same node)")
 	fmt.Fprintf(out, "%-8s %10s %10s\n", "p(fail)", "makespan", "retries")
-	for _, p := range []float64{0, 0.1, 0.3, 0.5} {
-		wf := mkWf()
-		inf := continuum.Testbed()
-		placement, err := (orchestrator.DataLocal{}).Place(wf, inf)
-		if err != nil {
-			return err
-		}
-		fs, err := orchestrator.SimulateWithFaults(wf, inf, placement, "data-local",
-			orchestrator.FaultModel{FailureProb: p, MaxRetries: 50, Rng: rand.New(rand.NewSource(seed))})
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "%-8.1f %9.2fs %10d\n", p, fs.Schedule.Makespan, fs.Failures)
+	pts, err := orchestrator.SweepFaults(mkWf, continuum.Testbed, orchestrator.DataLocal{},
+		[]float64{0, 0.1, 0.3, 0.5}, 50, seed)
+	if err != nil {
+		return err
+	}
+	for _, pt := range pts {
+		fmt.Fprintf(out, "%-8.1f %9.2fs %10d\n", pt.FailureProb, pt.Stats.Schedule.Makespan, pt.Stats.Failures)
 	}
 	return nil
 }

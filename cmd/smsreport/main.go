@@ -9,6 +9,7 @@
 //	smsreport -fig 2 -format svg     # one figure as SVG
 //	smsreport -out artifacts/         # write every artifact in every format
 //	smsreport -catalog file.json      # run over an alternative catalog
+//	smsreport -workers 4              # bound the render worker pool
 package main
 
 import (
@@ -17,9 +18,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/report"
 )
 
@@ -38,6 +41,7 @@ func run(args []string, stdout io.Writer) error {
 		format      = fs.String("format", "text", "output format: text, md, csv, svg")
 		outDir      = fs.String("out", "", "write all artifacts into this directory")
 		catalogPath = fs.String("catalog", "", "load catalog from JSON file instead of the embedded dataset")
+		workers     = fs.Int("workers", runtime.GOMAXPROCS(0), "render worker pool size (1 = sequential; output is identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,7 +65,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *outDir != "" {
-		return writeAll(study, *outDir)
+		return writeAll(study, *outDir, *workers)
 	}
 	if *tableN != 0 {
 		out, err := renderTable(study, *tableN, *format)
@@ -79,7 +83,7 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprint(stdout, out)
 		return nil
 	}
-	full, err := report.Full(study)
+	full, err := report.Full(study, par.Workers(*workers))
 	if err != nil {
 		return err
 	}
@@ -157,8 +161,10 @@ func renderFig(s *core.Study, n int, format string) (string, error) {
 	}
 }
 
-// writeAll materializes every artifact in every applicable format under dir.
-func writeAll(s *core.Study, dir string) error {
+// writeAll materializes every artifact in every applicable format under
+// dir. Artifacts render concurrently on the worker pool and are written in
+// the fixed artifact order, so repeated runs produce identical files.
+func writeAll(s *core.Study, dir string, workers int) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -196,14 +202,24 @@ func writeAll(s *core.Study, dir string) error {
 			})
 		}
 	}
-	artifacts = append(artifacts, artifact{"report.txt", func() (string, error) { return report.Full(s) }})
+	artifacts = append(artifacts, artifact{"report.txt", func() (string, error) { return report.Full(s, par.Workers(1)) }})
 
-	for _, a := range artifacts {
-		out, err := a.render()
-		if err != nil {
-			return fmt.Errorf("rendering %s: %w", a.name, err)
+	rendered, err := par.MapReduceN(len(artifacts), func(_, lo, hi int) ([]string, error) {
+		outs := make([]string, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			out, err := artifacts[i].render()
+			if err != nil {
+				return nil, fmt.Errorf("rendering %s: %w", artifacts[i].name, err)
+			}
+			outs = append(outs, out)
 		}
-		if err := os.WriteFile(filepath.Join(dir, a.name), []byte(out), 0o644); err != nil {
+		return outs, nil
+	}, func(a, b []string) []string { return append(a, b...) }, par.Workers(workers))
+	if err != nil {
+		return err
+	}
+	for i, a := range artifacts {
+		if err := os.WriteFile(filepath.Join(dir, a.name), []byte(rendered[i]), 0o644); err != nil {
 			return err
 		}
 	}

@@ -45,6 +45,43 @@ func TestSingleArtifacts(t *testing.T) {
 	}
 }
 
+// The -workers flag never changes output: the full report and every
+// artifact file are byte-identical for workers 1, 2 and 8.
+func TestWorkersFlagOutputInvariant(t *testing.T) {
+	want := runCapture(t, "-workers", "1")
+	for _, w := range []string{"2", "8"} {
+		if got := runCapture(t, "-workers", w); got != want {
+			t.Errorf("-workers %s report differs from -workers 1", w)
+		}
+	}
+
+	dirSeq, dirPar := t.TempDir(), t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-out", dirSeq, "-workers", "1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-out", dirPar, "-workers", "8"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	files, err := os.ReadDir(dirSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		a, err := os.ReadFile(filepath.Join(dirSeq, f.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirPar, f.Name()))
+		if err != nil {
+			t.Fatalf("artifact %s missing in parallel run: %v", f.Name(), err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("artifact %s differs between -workers 1 and 8", f.Name())
+		}
+	}
+}
+
 func TestErrorPaths(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-table", "9"}, &sb); err == nil {

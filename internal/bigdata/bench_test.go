@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+
+	"repro/internal/par"
 )
 
 // BenchmarkPipeline measures the ParSoDA filter→map→group pipeline.
@@ -29,16 +31,20 @@ func BenchmarkPipeline(b *testing.B) {
 	}
 }
 
-// BenchmarkKMeans measures clustering on 5k points.
-func BenchmarkKMeans(b *testing.B) {
+// BenchmarkKMeansSeq/Par measure clustering on 50k points with one worker
+// vs the full worker pool (bit-identical outputs; see the property test).
+func BenchmarkKMeansSeq(b *testing.B) { benchKMeans(b, par.Workers(1)) }
+func BenchmarkKMeansPar(b *testing.B) { benchKMeans(b) }
+
+func benchKMeans(b *testing.B, opts ...par.Option) {
 	rng := rand.New(rand.NewSource(1))
-	pts := make([]Point, 5000)
+	pts := make([]Point, 50000)
 	for i := range pts {
 		pts[i] = Point{rng.Float64() * 100, rng.Float64() * 100}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := KMeans(pts, 8, 30, rand.New(rand.NewSource(2))); err != nil {
+		if _, err := KMeans(pts, 8, 30, rand.New(rand.NewSource(2)), opts...); err != nil {
 			b.Fatal(err)
 		}
 	}

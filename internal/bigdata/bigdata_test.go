@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/par"
 )
 
 type post struct {
@@ -205,6 +208,37 @@ func TestKMeansDeterministic(t *testing.T) {
 	b, _ := KMeans(pts, 5, 50, rand.New(rand.NewSource(11)))
 	if a.Inertia != b.Inertia || a.Iterations != b.Iterations {
 		t.Error("k-means not deterministic under fixed seed")
+	}
+}
+
+// Property: k-means is bit-identical for any worker count under the same
+// seed — assignments, centroids, inertia, and iteration count all match,
+// because shard boundaries and the partial-sum merge order are fixed.
+func TestKMeansParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var pts []Point
+	for i := 0; i < 2003; i++ {
+		pts = append(pts, Point{rng.Float64() * 100, rng.Float64() * 100})
+	}
+	want, err := KMeans(pts, 7, 60, rand.New(rand.NewSource(11)), par.Workers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := KMeans(pts, 7, 60, rand.New(rand.NewSource(11)), par.Workers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Inertia != want.Inertia || got.Iterations != want.Iterations {
+			t.Errorf("Workers(%d): inertia/iterations %v/%d vs sequential %v/%d",
+				workers, got.Inertia, got.Iterations, want.Inertia, want.Iterations)
+		}
+		if !reflect.DeepEqual(got.Centroids, want.Centroids) {
+			t.Errorf("Workers(%d): centroids diverge", workers)
+		}
+		if !reflect.DeepEqual(got.Assignment, want.Assignment) {
+			t.Errorf("Workers(%d): assignments diverge", workers)
+		}
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"repro/internal/par"
 )
 
 // This file implements the two clustering mechanisms the paper surveys:
@@ -33,10 +35,34 @@ type KMeansResult struct {
 	Inertia float64
 }
 
+// kmeansPartial accumulates one shard's contribution to a Lloyd iteration:
+// whether any assignment changed, plus per-centroid coordinate sums and
+// counts for the update step.
+type kmeansPartial struct {
+	changed bool
+	sx, sy  []float64
+	count   []int
+}
+
+func mergeKMeansPartial(a, b kmeansPartial) kmeansPartial {
+	a.changed = a.changed || b.changed
+	for c := range a.sx {
+		a.sx[c] += b.sx[c]
+		a.sy[c] += b.sy[c]
+		a.count[c] += b.count[c]
+	}
+	return a
+}
+
 // KMeans runs Lloyd's algorithm with deterministic seeded initialization
 // (random distinct points as initial centroids). It converges when no
 // assignment changes or maxIter is reached.
-func KMeans(points []Point, k int, maxIter int, rng *rand.Rand) (*KMeansResult, error) {
+//
+// The assignment step runs on the par worker pool: points are split into a
+// fixed number of shards, each shard computes partial centroid sums, and
+// the partials merge in shard index order — so the floating-point centroid
+// update is bit-identical for any par.Workers(n).
+func KMeans(points []Point, k int, maxIter int, rng *rand.Rand, opts ...par.Option) (*KMeansResult, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("bigdata: k = %d", k)
 	}
@@ -62,43 +88,53 @@ func KMeans(points []Point, k int, maxIter int, rng *rand.Rand) (*KMeansResult, 
 	res := &KMeansResult{Centroids: centroids, Assignment: assign}
 	for iter := 0; iter < maxIter; iter++ {
 		res.Iterations = iter + 1
-		changed := false
-		for i, p := range points {
-			best, bestD := 0, math.Inf(1)
-			for c, cp := range centroids {
-				if d := p.Dist(cp); d < bestD {
-					best, bestD = c, d
+		// Fused assignment + partial-sum pass. Shards write disjoint ranges
+		// of assign, so the only shared state is the merged partial.
+		total, err := par.MapReduceN(len(points), func(_, lo, hi int) (kmeansPartial, error) {
+			pt := kmeansPartial{sx: make([]float64, k), sy: make([]float64, k), count: make([]int, k)}
+			for i := lo; i < hi; i++ {
+				p := points[i]
+				best, bestD := 0, math.Inf(1)
+				for c, cp := range centroids {
+					if d := p.Dist(cp); d < bestD {
+						best, bestD = c, d
+					}
 				}
+				if assign[i] != best {
+					assign[i] = best
+					pt.changed = true
+				}
+				pt.sx[best] += p.X
+				pt.sy[best] += p.Y
+				pt.count[best]++
 			}
-			if assign[i] != best {
-				assign[i] = best
-				changed = true
-			}
+			return pt, nil
+		}, mergeKMeansPartial, opts...)
+		if err != nil {
+			return nil, err
 		}
-		if !changed && iter > 0 {
+		if !total.changed && iter > 0 {
 			break
 		}
-		// Update step.
-		var sx, sy = make([]float64, k), make([]float64, k)
-		count := make([]int, k)
-		for i, p := range points {
-			c := assign[i]
-			sx[c] += p.X
-			sy[c] += p.Y
-			count[c]++
-		}
 		for c := 0; c < k; c++ {
-			if count[c] > 0 {
-				centroids[c] = Point{sx[c] / float64(count[c]), sy[c] / float64(count[c])}
+			if total.count[c] > 0 {
+				centroids[c] = Point{total.sx[c] / float64(total.count[c]), total.sy[c] / float64(total.count[c])}
 			}
 			// Empty clusters keep their previous centroid.
 		}
 	}
-	res.Inertia = 0
-	for i, p := range points {
-		d := p.Dist(centroids[assign[i]])
-		res.Inertia += d * d
+	inertia, err := par.MapReduceN(len(points), func(_, lo, hi int) (float64, error) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			d := points[i].Dist(centroids[assign[i]])
+			s += d * d
+		}
+		return s, nil
+	}, func(a, b float64) float64 { return a + b }, opts...)
+	if err != nil {
+		return nil, err
 	}
+	res.Inertia = inertia
 	return res, nil
 }
 

@@ -5,19 +5,38 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/par"
 )
 
 // This file implements the discrete-event simulation core used by the
 // orchestration, FaaS and energy substrates. The engine is single-threaded
 // and fully deterministic: events at equal timestamps fire in scheduling
-// order (FIFO), so repeated runs produce identical traces.
+// order (the monotonic seq tie-break in eventHeap.Less), so repeated runs —
+// including the parallel scenario sweeps that run one engine per candidate
+// — produce identical traces.
 
 // Event is a scheduled callback.
 type event struct {
 	at   float64
-	seq  uint64 // tie-breaker preserving scheduling order
+	seq  uint64 // tie-breaker preserving scheduling order at equal times
+	gen  uint64 // incremented on recycle; guards stale EventIDs
 	fn   func()
 	dead bool
+}
+
+// eventPool recycles event records across engines to cut allocation churn
+// in simulation inner loops (sweeps create one engine per candidate, each
+// scheduling thousands of events). sync.Pool-backed, so concurrently
+// running engines share it safely.
+var eventPool = par.NewPool(func() *event { return &event{} })
+
+// recycle returns a fired or discarded event to the pool. The generation
+// bump invalidates any EventID still pointing at this record.
+func recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	eventPool.Put(ev)
 }
 
 type eventHeap []*event
@@ -33,8 +52,13 @@ func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
 func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
-// EventID identifies a scheduled event for cancellation.
-type EventID struct{ e *event }
+// EventID identifies a scheduled event for cancellation. It captures the
+// event record's generation, so an ID held past its event's firing can
+// never cancel a recycled record.
+type EventID struct {
+	e   *event
+	gen uint64
+}
 
 // Engine is a deterministic discrete-event simulator.
 type Engine struct {
@@ -62,10 +86,14 @@ func (e *Engine) Schedule(delay float64, fn func()) (EventID, error) {
 	if fn == nil {
 		return EventID{}, errors.New("continuum: nil event callback")
 	}
-	ev := &event{at: e.now + delay, seq: e.seq, fn: fn}
+	ev := eventPool.Get()
+	ev.at = e.now + delay
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.dead = false
 	e.seq++
 	heap.Push(&e.events, ev)
-	return EventID{ev}, nil
+	return EventID{e: ev, gen: ev.gen}, nil
 }
 
 // MustSchedule is Schedule for callers with known-good delays; it panics on
@@ -78,10 +106,10 @@ func (e *Engine) MustSchedule(delay float64, fn func()) EventID {
 	return id
 }
 
-// Cancel prevents a scheduled event from firing. Cancelling an already-fired
-// or already-cancelled event is a no-op returning false.
+// Cancel prevents a scheduled event from firing. Cancelling an already-fired,
+// already-cancelled, or recycled event is a no-op returning false.
 func (e *Engine) Cancel(id EventID) bool {
-	if id.e == nil || id.e.dead {
+	if id.e == nil || id.e.gen != id.gen || id.e.dead {
 		return false
 	}
 	id.e.dead = true
@@ -104,6 +132,7 @@ func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*event)
 		if ev.dead {
+			recycle(ev)
 			continue
 		}
 		if ev.at < e.now {
@@ -113,7 +142,9 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.at
 		e.Processed++
-		ev.fn()
+		fn := ev.fn
+		recycle(ev)
+		fn()
 		return true
 	}
 	return false
@@ -127,7 +158,7 @@ func (e *Engine) Run(until float64) error {
 		// Peek: the heap root is the earliest live event.
 		next := e.events[0]
 		if next.dead {
-			heap.Pop(&e.events)
+			recycle(heap.Pop(&e.events).(*event))
 			continue
 		}
 		if next.at > until {

@@ -1,6 +1,7 @@
 package continuum
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -34,6 +35,73 @@ func TestEngineFIFOAtEqualTimes(t *testing.T) {
 	_ = e.RunAll()
 	if !sort.IntsAreSorted(order) {
 		t.Errorf("equal-time events fired out of scheduling order: %v", order)
+	}
+}
+
+// Regression for the deterministic FIFO tie-break at equal timestamps: a
+// burst of same-time events interleaved with cancellations and events
+// scheduled from inside callbacks onto the same timestamp must fire in
+// monotonic sequence order. Parallel-driven scenario sweeps rely on this —
+// a candidate's trace must not depend on heap internals.
+func TestEngineEqualTimeTieBreakRegression(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	// Ten events at t=5, scheduled out of interleaved cancellations.
+	var cancels []EventID
+	for i := 0; i < 10; i++ {
+		i := i
+		id := e.MustSchedule(5, func() { order = append(order, fmt.Sprintf("a%d", i)) })
+		if i%3 == 0 {
+			cancels = append(cancels, id)
+		}
+	}
+	for _, id := range cancels {
+		if !e.Cancel(id) {
+			t.Fatal("cancel of pending event failed")
+		}
+	}
+	// An earlier event that schedules two more events AT t=5 (zero delay at
+	// fire time would land earlier; use exact remaining delay).
+	e.MustSchedule(2, func() {
+		e.MustSchedule(3, func() { order = append(order, "nested-1") })
+		e.MustSchedule(3, func() { order = append(order, "nested-2") })
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "a2", "a4", "a5", "a7", "a8", "nested-1", "nested-2"}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("equal-time order = %v, want %v (diverges at %d)", order, want, i)
+		}
+	}
+}
+
+// A stale EventID (its event fired and its record was recycled through the
+// pool) must never cancel a later event that reuses the record.
+func TestEngineStaleEventIDCannotCancelRecycled(t *testing.T) {
+	e := NewEngine()
+	fired1 := false
+	id1 := e.MustSchedule(1, func() { fired1 = true })
+	if !e.Step() || !fired1 {
+		t.Fatal("first event did not fire")
+	}
+	// Schedule many events; one of them likely reuses id1's record.
+	fired2 := 0
+	for i := 0; i < 100; i++ {
+		e.MustSchedule(1, func() { fired2++ })
+	}
+	if e.Cancel(id1) {
+		t.Error("stale EventID cancelled something")
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired2 != 100 {
+		t.Errorf("fired %d of 100 events after stale cancel", fired2)
 	}
 }
 

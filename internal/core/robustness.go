@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/catalog"
+	"repro/internal/par"
 	"repro/internal/stats"
 )
 
@@ -31,8 +32,10 @@ type BootstrapResult struct {
 
 // BootstrapQ3 resamples the selection votes with replacement `trials`
 // times and reports how often each direction tops the resampled
-// distribution. Deterministic under seed.
-func (s *Study) BootstrapQ3(trials int, seed int64) (*BootstrapResult, error) {
+// distribution. Trials are sharded with one SplitMix64-derived RNG per
+// shard and the per-shard tallies merge in shard index order, so the
+// result is bit-identical for any par.Workers(n) under the same seed.
+func (s *Study) BootstrapQ3(trials int, seed int64, opts ...par.Option) (*BootstrapResult, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("core: non-positive trials %d", trials)
 	}
@@ -52,18 +55,29 @@ func (s *Study) BootstrapQ3(trials int, seed int64) (*BootstrapResult, error) {
 		return nil, err
 	}
 
-	rng := rand.New(rand.NewSource(seed))
-	tops := map[catalog.Direction]int{}
-	for t := 0; t < trials; t++ {
-		d := newDirectionDistLocal()
-		for i := 0; i < len(votes); i++ {
-			d.Observe(string(votes[rng.Intn(len(votes))]))
+	tops, err := par.MapReduceN(trials, func(shard, lo, hi int) (map[catalog.Direction]int, error) {
+		rng := rand.New(rand.NewSource(par.SplitSeed(seed, shard)))
+		tally := map[catalog.Direction]int{}
+		for t := lo; t < hi; t++ {
+			d := newDirectionDistLocal()
+			for i := 0; i < len(votes); i++ {
+				d.Observe(string(votes[rng.Intn(len(votes))]))
+			}
+			top, err := d.ArgMax()
+			if err != nil {
+				return nil, err
+			}
+			tally[catalog.Direction(top)]++
 		}
-		top, err := d.ArgMax()
-		if err != nil {
-			return nil, err
+		return tally, nil
+	}, func(a, b map[catalog.Direction]int) map[catalog.Direction]int {
+		for d, n := range b {
+			a[d] += n
 		}
-		tops[catalog.Direction(top)]++
+		return a
+	}, opts...)
+	if err != nil {
+		return nil, err
 	}
 	res := &BootstrapResult{Trials: trials, TopShare: map[catalog.Direction]float64{}}
 	for _, d := range catalog.Directions() {

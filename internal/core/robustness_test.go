@@ -1,9 +1,11 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/catalog"
+	"repro/internal/par"
 )
 
 // The Q3 conclusion is stable but not certain: with 11 of 28 votes against
@@ -56,6 +58,41 @@ func TestBootstrapQ3Deterministic(t *testing.T) {
 	}
 	if _, err := s.BootstrapQ3(0, 1); err == nil {
 		t.Error("zero trials accepted")
+	}
+}
+
+// Property: the bootstrap is bit-identical for any worker count under the
+// same root seed (the par seed-split contract, DESIGN.md §4).
+func TestBootstrapQ3ParallelMatchesSequential(t *testing.T) {
+	s := study(t)
+	want, err := s.BootstrapQ3(777, 42, par.Workers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := s.BootstrapQ3(777, 42, par.Workers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Workers(%d) result differs from sequential:\n got %+v\nwant %+v", workers, got, want)
+		}
+	}
+}
+
+func BenchmarkBootstrapQ3Seq(b *testing.B) { benchBootstrap(b, par.Workers(1)) }
+func BenchmarkBootstrapQ3Par(b *testing.B) { benchBootstrap(b) }
+
+func benchBootstrap(b *testing.B, opts ...par.Option) {
+	s, err := Default()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.BootstrapQ3(2000, 42, opts...); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/continuum"
+	"repro/internal/par"
 	"repro/internal/workflow"
 )
 
@@ -265,21 +266,33 @@ func scheduleReady(eng *continuum.Engine, wf *workflow.Workflow, inf *continuum.
 
 // Compare runs every policy on copies of the same scenario and returns the
 // schedules sorted by makespan ascending. It is the engine behind the
-// orchestration ablation bench ("placement quality matters").
-func Compare(mkWf func() *workflow.Workflow, mkInf func() *continuum.Infrastructure, policies []Policy) ([]*Schedule, error) {
-	var out []*Schedule
-	for _, pol := range policies {
-		wf := mkWf()
-		inf := mkInf()
-		p, err := pol.Place(wf, inf)
-		if err != nil {
-			return nil, fmt.Errorf("orchestrator: policy %s: %w", pol.Name(), err)
+// orchestration ablation bench ("placement quality matters"). Policies are
+// scored concurrently on the par worker pool (each candidate gets fresh
+// wf/inf instances); the makespan sort on the ordered results keeps the
+// outcome identical for any par.Workers(n). Policies must not share
+// mutable state with each other (one seeded Random policy per list is
+// fine; two sharing a *rand.Rand is not).
+func Compare(mkWf func() *workflow.Workflow, mkInf func() *continuum.Infrastructure, policies []Policy, opts ...par.Option) ([]*Schedule, error) {
+	out, err := par.MapReduceN(len(policies), func(_, lo, hi int) ([]*Schedule, error) {
+		scheds := make([]*Schedule, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			pol := policies[i]
+			wf := mkWf()
+			inf := mkInf()
+			p, err := pol.Place(wf, inf)
+			if err != nil {
+				return nil, fmt.Errorf("orchestrator: policy %s: %w", pol.Name(), err)
+			}
+			s, err := Simulate(wf, inf, p, pol.Name())
+			if err != nil {
+				return nil, fmt.Errorf("orchestrator: policy %s: %w", pol.Name(), err)
+			}
+			scheds = append(scheds, s)
 		}
-		s, err := Simulate(wf, inf, p, pol.Name())
-		if err != nil {
-			return nil, fmt.Errorf("orchestrator: policy %s: %w", pol.Name(), err)
-		}
-		out = append(out, s)
+		return scheds, nil
+	}, func(a, b []*Schedule) []*Schedule { return append(a, b...) }, opts...)
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Makespan != out[j].Makespan {

@@ -1,0 +1,82 @@
+package orchestrator
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/continuum"
+	"repro/internal/par"
+	"repro/internal/workflow"
+)
+
+// This file implements the scenario-sweep drivers behind the fault-tolerance
+// and energy-deadline what-ifs. Sweeps are embarrassingly parallel — every
+// candidate builds its own workflow and infrastructure — so they run on the
+// par worker pool with one SplitMix64-derived RNG per candidate and the
+// per-shard results merged in shard index order, keeping sweeps
+// bit-identical for any par.Workers(n).
+
+// FaultPoint is one candidate of a fault-injection sweep.
+type FaultPoint struct {
+	FailureProb float64
+	Stats       *FaultyStats
+}
+
+// SweepFaults simulates the placement produced by pol under every failure
+// probability in probs. Candidate i draws its injections from a dedicated
+// RNG seeded with par.SplitSeed(seed, i), so the sweep is reproducible and
+// independent of the worker count. mkWf/mkInf must return fresh instances
+// (they are called once per candidate, possibly concurrently).
+func SweepFaults(mkWf func() *workflow.Workflow, mkInf func() *continuum.Infrastructure,
+	pol Policy, probs []float64, maxRetries int, seed int64, opts ...par.Option) ([]FaultPoint, error) {
+
+	return par.MapReduceN(len(probs), func(_, lo, hi int) ([]FaultPoint, error) {
+		pts := make([]FaultPoint, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			wf := mkWf()
+			inf := mkInf()
+			placement, err := pol.Place(wf, inf)
+			if err != nil {
+				return nil, fmt.Errorf("orchestrator: policy %s: %w", pol.Name(), err)
+			}
+			fm := FaultModel{
+				FailureProb: probs[i],
+				MaxRetries:  maxRetries,
+				Rng:         rand.New(rand.NewSource(par.SplitSeed(seed, i))),
+			}
+			fs, err := SimulateWithFaults(wf, inf, placement, pol.Name(), fm)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, FaultPoint{FailureProb: probs[i], Stats: fs})
+		}
+		return pts, nil
+	}, func(a, b []FaultPoint) []FaultPoint { return append(a, b...) }, opts...)
+}
+
+// SweepSlack scores the EnergyDeadline policy across deadline-slack
+// candidates in parallel, returning one schedule per slack in input order —
+// the energy-vs-time Pareto front of the deadline-constrained scheduling
+// literature (§2.3).
+func SweepSlack(mkWf func() *workflow.Workflow, mkInf func() *continuum.Infrastructure,
+	slacks []float64, opts ...par.Option) ([]*Schedule, error) {
+
+	return par.MapReduceN(len(slacks), func(_, lo, hi int) ([]*Schedule, error) {
+		out := make([]*Schedule, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			wf := mkWf()
+			inf := mkInf()
+			pol := EnergyDeadline{Slack: slacks[i]}
+			p, err := pol.Place(wf, inf)
+			if err != nil {
+				return nil, fmt.Errorf("orchestrator: slack %.2f: %w", slacks[i], err)
+			}
+			s, err := Simulate(wf, inf, p, pol.Name())
+			if err != nil {
+				return nil, fmt.Errorf("orchestrator: slack %.2f: %w", slacks[i], err)
+			}
+			out = append(out, s)
+		}
+		return out, nil
+	}, func(a, b []*Schedule) []*Schedule { return append(a, b...) }, opts...)
+}

@@ -1,0 +1,129 @@
+package orchestrator
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/continuum"
+	"repro/internal/par"
+	"repro/internal/workflow"
+)
+
+func sweepWF() func() *workflow.Workflow {
+	return func() *workflow.Workflow { return pipelineWF() }
+}
+
+// Property: the fault sweep is bit-identical for any worker count under the
+// same root seed — every candidate's makespan and failure count match.
+func TestSweepFaultsParallelMatchesSequential(t *testing.T) {
+	probs := []float64{0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
+	want, err := SweepFaults(sweepWF(), continuum.Testbed, DataLocal{}, probs, 60, 42, par.Workers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(probs) {
+		t.Fatalf("got %d points for %d probs", len(want), len(probs))
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := SweepFaults(sweepWF(), continuum.Testbed, DataLocal{}, probs, 60, 42, par.Workers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i].FailureProb != want[i].FailureProb {
+				t.Fatalf("Workers(%d): candidate %d prob %v, want %v", workers, i, got[i].FailureProb, want[i].FailureProb)
+			}
+			if got[i].Stats.Failures != want[i].Stats.Failures ||
+				got[i].Stats.Schedule.Makespan != want[i].Stats.Schedule.Makespan {
+				t.Errorf("Workers(%d): candidate %d = (%d failures, %.6f s), sequential (%d, %.6f)",
+					workers, i, got[i].Stats.Failures, got[i].Stats.Schedule.Makespan,
+					want[i].Stats.Failures, want[i].Stats.Schedule.Makespan)
+			}
+		}
+	}
+}
+
+// The sweep's injections grow with the failure probability, and candidates
+// are returned in input order.
+func TestSweepFaultsMonotoneInflation(t *testing.T) {
+	probs := []float64{0, 0.3, 0.6}
+	pts, err := SweepFaults(sweepWF(), continuum.Testbed, DataLocal{}, probs, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Stats.Failures != 0 {
+		t.Errorf("p=0 injected %d failures", pts[0].Stats.Failures)
+	}
+	if pts[0].Stats.Schedule.Makespan > pts[2].Stats.Schedule.Makespan {
+		t.Errorf("makespan at p=0 (%.2f) exceeds p=0.6 (%.2f)",
+			pts[0].Stats.Schedule.Makespan, pts[2].Stats.Schedule.Makespan)
+	}
+}
+
+func TestSweepSlackParetoFront(t *testing.T) {
+	slacks := []float64{1, 1.5, 2, 3}
+	seq, err := SweepSlack(sweepWF(), continuum.Testbed, slacks, par.Workers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(slacks) {
+		t.Fatalf("got %d schedules", len(seq))
+	}
+	par8, err := SweepSlack(sweepWF(), continuum.Testbed, slacks, par.Workers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i].Makespan != par8[i].Makespan || seq[i].TotalEnergyJ() != par8[i].TotalEnergyJ() {
+			t.Errorf("slack %.1f: parallel (%.6f s, %.3f J) vs sequential (%.6f s, %.3f J)",
+				slacks[i], par8[i].Makespan, par8[i].TotalEnergyJ(), seq[i].Makespan, seq[i].TotalEnergyJ())
+		}
+	}
+}
+
+// Compare must stay deterministic when parallelised, including with a
+// seeded Random policy in the list.
+func TestCompareParallelMatchesSequential(t *testing.T) {
+	run := func(workers int) []*Schedule {
+		s, err := Compare(
+			func() *workflow.Workflow { return wideWF(12) },
+			continuum.Testbed,
+			Policies(rand.New(rand.NewSource(42))),
+			par.Workers(workers),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	want := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		if len(got) != len(want) {
+			t.Fatalf("Workers(%d): %d schedules vs %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Policy != want[i].Policy || got[i].Makespan != want[i].Makespan {
+				t.Errorf("Workers(%d): rank %d = %s/%.6f, sequential %s/%.6f",
+					workers, i, got[i].Policy, got[i].Makespan, want[i].Policy, want[i].Makespan)
+			}
+		}
+	}
+}
+
+func BenchmarkFaultSweepSeq(b *testing.B) { benchFaultSweep(b, par.Workers(1)) }
+func BenchmarkFaultSweepPar(b *testing.B) { benchFaultSweep(b) }
+
+func benchFaultSweep(b *testing.B, opts ...par.Option) {
+	probs := make([]float64, 32)
+	for i := range probs {
+		probs[i] = float64(i) * 0.02
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SweepFaults(func() *workflow.Workflow { return wideWF(24) },
+			continuum.Testbed, DataLocal{}, probs, 200, 42, opts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package par is the repo's deterministic parallel-execution substrate.
+//
+// Every statistically heavy path in the reproduction (bootstrap resampling,
+// k-means assignment, fault/placement sweeps, report rendering) follows the
+// same recipe: split the work into a *fixed* number of shards, give each
+// shard an independent RNG derived from the root seed with a SplitMix64
+// seed splitter (counter-based seeding in the spirit of Salmon et al.,
+// "Parallel Random Numbers: As Easy as 1, 2, 3", SC'11), run the shards on
+// a bounded worker pool, and merge the per-shard results in shard index
+// order regardless of completion order.
+//
+// Because the shard count and the per-shard seeds depend only on the input
+// size and the root seed — never on the worker count or on scheduling —
+// the result is bit-identical for any Workers(n), and Workers(1) executes
+// everything on the calling goroutine (today's sequential behaviour).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultShards is the fixed shard count for inputs larger than it. It is a
+// constant (not GOMAXPROCS-derived) so that shard boundaries — and hence
+// per-shard RNG streams and float merge order — are identical on every
+// machine.
+const defaultShards = 32
+
+// options configures a parallel execution.
+type options struct {
+	workers int
+	shards  int
+}
+
+// Option configures For / MapReduce executions.
+type Option func(*options)
+
+// Workers bounds the worker pool. Values below 1 fall back to 1; the
+// default is runtime.GOMAXPROCS(0). Workers(1) runs all shards sequentially
+// on the calling goroutine. The worker count never changes results — only
+// how many shards execute concurrently.
+func Workers(n int) Option {
+	return func(o *options) {
+		if n >= 1 {
+			o.workers = n
+		} else {
+			o.workers = 1
+		}
+	}
+}
+
+// Shards overrides the fixed shard count (default 32, clamped to the input
+// size). Changing the shard count changes shard boundaries and therefore
+// per-shard seeds and float merge order: results are deterministic per
+// shard count, not across shard counts. Use it in benchmarks or when a
+// workload needs finer-grained load balancing.
+func Shards(n int) Option {
+	return func(o *options) {
+		if n >= 1 {
+			o.shards = n
+		}
+	}
+}
+
+func buildOptions(opts []Option) options {
+	o := options{workers: runtime.GOMAXPROCS(0), shards: defaultShards}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// SplitSeed derives the shard-th sub-seed from a root seed using the
+// SplitMix64 finalizer (Steele et al., OOPSLA'14). Distinct shards get
+// statistically independent, reproducible streams; the mapping depends only
+// on (root, shard).
+func SplitSeed(root int64, shard int) int64 {
+	z := uint64(root) + (uint64(shard)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// shardBounds returns the half-open range of shard s when n items are split
+// into nShards contiguous chunks whose sizes differ by at most one.
+func shardBounds(n, nShards, s int) (lo, hi int) {
+	q, r := n/nShards, n%nShards
+	lo = s*q + min(s, r)
+	hi = lo + q
+	if s < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// runShards executes fn(shard) for every shard in [0, nShards) on at most
+// `workers` goroutines. With workers == 1 everything runs inline on the
+// calling goroutine in shard order.
+func runShards(nShards, workers int, fn func(shard int)) {
+	if nShards <= 0 {
+		return
+	}
+	if workers > nShards {
+		workers = nShards
+	}
+	if workers <= 1 {
+		for s := 0; s < nShards; s++ {
+			fn(s)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1))
+				if s >= nShards {
+					return
+				}
+				fn(s)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForShards partitions [0, n) into the configured number of contiguous
+// shards and calls fn(shard, lo, hi) once per shard on the worker pool.
+// Shard boundaries depend only on n and the Shards option.
+func ForShards(n int, fn func(shard, lo, hi int), opts ...Option) {
+	o := buildOptions(opts)
+	nShards := min(o.shards, n)
+	runShards(nShards, o.workers, func(s int) {
+		lo, hi := shardBounds(n, nShards, s)
+		fn(s, lo, hi)
+	})
+}
+
+// For calls body(i) for every i in [0, n) using the worker pool. Iterations
+// must be independent (each i writes only state owned by i).
+func For(n int, body func(i int), opts ...Option) {
+	ForShards(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	}, opts...)
+}
+
+// MapReduceN maps the index range [0, n): each shard computes one partial
+// result from its half-open range, and the partials are folded left in
+// shard index order — merge(merge(r0, r1), r2)… — regardless of which
+// worker finished first. This is what keeps non-associative merges
+// (floating-point sums, string concatenation) bit-identical across worker
+// counts. Errors are reported by the lowest-indexed failing shard; the
+// merged result is only valid when the error is nil.
+func MapReduceN[R any](n int, mapShard func(shard, lo, hi int) (R, error), merge func(R, R) R, opts ...Option) (R, error) {
+	o := buildOptions(opts)
+	nShards := min(o.shards, n)
+	var zero R
+	if nShards <= 0 {
+		return zero, nil
+	}
+	results := make([]R, nShards)
+	errs := make([]error, nShards)
+	runShards(nShards, o.workers, func(s int) {
+		lo, hi := shardBounds(n, nShards, s)
+		results[s], errs[s] = mapShard(s, lo, hi)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return zero, err
+		}
+	}
+	acc := results[0]
+	for s := 1; s < nShards; s++ {
+		acc = merge(acc, results[s])
+	}
+	return acc, nil
+}
+
+// MapReduce is MapReduceN over a slice: each shard maps its contiguous
+// chunk of items to one partial result, and partials merge in shard order.
+func MapReduce[T, R any](items []T, mapShard func(shard int, chunk []T) (R, error), merge func(R, R) R, opts ...Option) (R, error) {
+	return MapReduceN(len(items), func(shard, lo, hi int) (R, error) {
+		return mapShard(shard, items[lo:hi])
+	}, merge, opts...)
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/charts"
 	"repro/internal/core"
+	"repro/internal/par"
 )
 
 // Table1 builds the paper's Table 1: collected tools classified in five
@@ -193,73 +194,103 @@ func FigE1(s *core.Study) *charts.BarChart {
 }
 
 // Full renders the complete study report: protocol, all tables and figures
-// in ASCII form, and the synthesized answers to Q1–Q3.
-func Full(s *core.Study) (string, error) {
-	var b strings.Builder
-	b.WriteString("A Systematic Mapping Study of Italian Research on Workflows — reproduction report\n")
-	b.WriteString(strings.Repeat("=", 82) + "\n\n")
-	fmt.Fprintf(&b, "Scope: %s\n\nResearch questions:\n", s.Protocol.Scope)
-	for _, q := range s.Protocol.Questions {
-		fmt.Fprintf(&b, "  %s: %s\n", q.ID, q.Text)
+// in ASCII form, and the synthesized answers to Q1–Q3. The sections are
+// independent pure reads of the study, so they render concurrently on the
+// par worker pool and are concatenated in the fixed section order — the
+// output is byte-identical for any par.Workers(n).
+func Full(s *core.Study, opts ...par.Option) (string, error) {
+	sections := []func() (string, error){
+		func() (string, error) {
+			var b strings.Builder
+			b.WriteString("A Systematic Mapping Study of Italian Research on Workflows — reproduction report\n")
+			b.WriteString(strings.Repeat("=", 82) + "\n\n")
+			fmt.Fprintf(&b, "Scope: %s\n\nResearch questions:\n", s.Protocol.Scope)
+			for _, q := range s.Protocol.Questions {
+				fmt.Fprintf(&b, "  %s: %s\n", q.ID, q.Text)
+			}
+			fmt.Fprintf(&b, "\nDataset: %s\n\n", s.Catalog)
+			return b.String(), nil
+		},
+		func() (string, error) { return Fig1(s) + "\n", nil },
+		func() (string, error) {
+			t1, err := Table1(s).ASCII()
+			if err != nil {
+				return "", fmt.Errorf("report: table 1: %w", err)
+			}
+			return t1 + "\n", nil
+		},
+		func() (string, error) {
+			f2, err := Fig2(s).ASCII(40)
+			if err != nil {
+				return "", fmt.Errorf("report: figure 2: %w", err)
+			}
+			return f2 + "\n", nil
+		},
+		func() (string, error) {
+			f3, err := Fig3(s).ASCII()
+			if err != nil {
+				return "", fmt.Errorf("report: figure 3: %w", err)
+			}
+			return f3 + "\n", nil
+		},
+		func() (string, error) {
+			t2, err := Table2(s).ASCII()
+			if err != nil {
+				return "", fmt.Errorf("report: table 2: %w", err)
+			}
+			return t2 + "\n", nil
+		},
+		func() (string, error) {
+			fig4, err := Fig4(s)
+			if err != nil {
+				return "", err
+			}
+			f4, err := fig4.ASCII(40)
+			if err != nil {
+				return "", fmt.Errorf("report: figure 4: %w", err)
+			}
+			return f4 + "\n", nil
+		},
+		func() (string, error) {
+			answers, err := s.Answers()
+			if err != nil {
+				return "", err
+			}
+			var b strings.Builder
+			b.WriteString("Discussion\n----------\n")
+			for _, a := range answers {
+				fmt.Fprintf(&b, "\n%s. %s\n%s\n", a.Question.ID, a.Question.Text, a.Summary)
+				for _, f := range a.Findings {
+					fmt.Fprintf(&b, "  - %s\n", f)
+				}
+			}
+			return b.String(), nil
+		},
+		func() (string, error) {
+			cm := core.EvaluateClassifier(s.Catalog)
+			return fmt.Sprintf("\nClassification validation (keyword classifier vs manual labels): accuracy %.0f%%\n%s",
+				cm.Accuracy()*100, cm), nil
+		},
+		func() (string, error) {
+			var b strings.Builder
+			b.WriteString("\nExtension: tool maturity (reference publication recency)\n")
+			for _, line := range s.MaturitySummary() {
+				fmt.Fprintf(&b, "  - %s\n", line)
+			}
+			return b.String(), nil
+		},
 	}
-	fmt.Fprintf(&b, "\nDataset: %s\n\n", s.Catalog)
-
-	b.WriteString(Fig1(s))
-	b.WriteString("\n")
-
-	t1, err := Table1(s).ASCII()
-	if err != nil {
-		return "", fmt.Errorf("report: table 1: %w", err)
-	}
-	b.WriteString(t1 + "\n")
-
-	f2, err := Fig2(s).ASCII(40)
-	if err != nil {
-		return "", fmt.Errorf("report: figure 2: %w", err)
-	}
-	b.WriteString(f2 + "\n")
-
-	f3, err := Fig3(s).ASCII()
-	if err != nil {
-		return "", fmt.Errorf("report: figure 3: %w", err)
-	}
-	b.WriteString(f3 + "\n")
-
-	t2, err := Table2(s).ASCII()
-	if err != nil {
-		return "", fmt.Errorf("report: table 2: %w", err)
-	}
-	b.WriteString(t2 + "\n")
-
-	fig4, err := Fig4(s)
-	if err != nil {
-		return "", err
-	}
-	f4, err := fig4.ASCII(40)
-	if err != nil {
-		return "", fmt.Errorf("report: figure 4: %w", err)
-	}
-	b.WriteString(f4 + "\n")
-
-	answers, err := s.Answers()
-	if err != nil {
-		return "", err
-	}
-	b.WriteString("Discussion\n----------\n")
-	for _, a := range answers {
-		fmt.Fprintf(&b, "\n%s. %s\n%s\n", a.Question.ID, a.Question.Text, a.Summary)
-		for _, f := range a.Findings {
-			fmt.Fprintf(&b, "  - %s\n", f)
+	// One shard per section: each renders independently, and the string
+	// concatenation merge preserves the fixed section order.
+	return par.MapReduceN(len(sections), func(_, lo, hi int) (string, error) {
+		var b strings.Builder
+		for i := lo; i < hi; i++ {
+			sec, err := sections[i]()
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(sec)
 		}
-	}
-
-	cm := core.EvaluateClassifier(s.Catalog)
-	fmt.Fprintf(&b, "\nClassification validation (keyword classifier vs manual labels): accuracy %.0f%%\n%s",
-		cm.Accuracy()*100, cm)
-
-	b.WriteString("\nExtension: tool maturity (reference publication recency)\n")
-	for _, line := range s.MaturitySummary() {
-		fmt.Fprintf(&b, "  - %s\n", line)
-	}
-	return b.String(), nil
+		return b.String(), nil
+	}, func(a, b string) string { return a + b }, opts...)
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/par"
 )
 
 func study(t *testing.T) *core.Study {
@@ -234,6 +235,42 @@ func TestFullReportGolden(t *testing.T) {
 			}
 		}
 		t.Fatalf("report length diverged: %d vs %d lines", len(ol), len(gl))
+	}
+}
+
+// Property: the parallel section renderer is byte-identical to the
+// sequential one for any worker count (and to the golden file, via
+// TestFullReportGolden).
+func TestFullReportParallelMatchesSequential(t *testing.T) {
+	s := study(t)
+	want, err := Full(s, par.Workers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := Full(s, par.Workers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("Workers(%d) report differs from sequential render", workers)
+		}
+	}
+}
+
+func BenchmarkReportFullSeq(b *testing.B) { benchFull(b, par.Workers(1)) }
+func BenchmarkReportFullPar(b *testing.B) { benchFull(b) }
+
+func benchFull(b *testing.B, opts ...par.Option) {
+	s, err := core.Default()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Full(s, opts...); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
