@@ -3,11 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-compare artifacts examples outputs clean
+.PHONY: all build vet test race audit clockgate bench bench-compare artifacts examples outputs clean
 
-# race is part of all: the parallel substrate (internal/par) and every hot
-# path wired onto it must stay clean under the race detector.
-all: build vet test race
+# audit (vet + race + clock gate) is part of all: the parallel substrate
+# (internal/par) and every hot path wired onto it must stay clean under the
+# race detector, and no simulator code may read the wall clock directly.
+all: build test audit
 
 build:
 	$(GO) build ./...
@@ -20,6 +21,20 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# audit = static checks + race detector + the wall-clock gate (DESIGN.md §4).
+audit: vet race clockgate
+
+# Enforce the clock contract: time.Now/time.Since may appear in internal/
+# only inside internal/clock (the single wall-clock boundary) and in tests.
+clockgate:
+	@bad=$$(grep -rn --include='*.go' -E 'time\.(Now|Since)\(' internal/ \
+		| grep -v '^internal/clock/' | grep -v '_test\.go:' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "clock gate: wall-clock reads outside internal/clock:"; \
+		echo "$$bad"; exit 1; \
+	fi
+	@echo "clock gate: clean"
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -17,10 +17,12 @@ import (
 	"os"
 
 	"repro/internal/capio"
+	"repro/internal/clock"
 	"repro/internal/continuum"
 	"repro/internal/energy"
 	"repro/internal/faas"
 	"repro/internal/orchestrator"
+	"repro/internal/telemetry"
 	"repro/internal/workflow"
 )
 
@@ -40,13 +42,14 @@ func run(args []string, out io.Writer) error {
 		vms      = fs.Int("vms", 12, "energy: fleet size")
 		chunks   = fs.Int("chunks", 200, "io: producer chunk count")
 		seed     = fs.Int64("seed", 1, "workload seed")
+		metrics  = fs.Bool("metrics", false, "faas: append Prometheus-text metrics after the report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	switch *scenario {
 	case "faas":
-		return faasScenario(out, *rate, *horizon, *seed)
+		return faasScenario(out, *rate, *horizon, *seed, *metrics)
 	case "energy":
 		return energyScenario(out, *vms)
 	case "io":
@@ -89,14 +92,23 @@ func faultsScenario(out io.Writer, seed int64) error {
 	return nil
 }
 
-func faasScenario(out io.Writer, rate, horizon float64, seed int64) error {
+func faasScenario(out io.Writer, rate, horizon float64, seed int64, metrics bool) error {
 	fns := []faas.Function{
 		{Name: "detect", WorkGFlop: 0.2, Class: faas.LowLatency, DeadlineS: 0.8, StateBytes: 1e6},
 		{Name: "train", WorkGFlop: 50, Class: faas.Batch, DeadlineS: 10, StateBytes: 50e6},
 	}
 	trace := faas.PoissonTrace(fns, rate, horizon, rand.New(rand.NewSource(seed)))
+	var opts []faas.CompareOption
+	var reg *telemetry.Registry
+	if metrics {
+		// A Sim clock keeps the exposition free of wall-clock noise: the
+		// output depends only on the workload, so identical flags give
+		// byte-identical metrics.
+		reg = telemetry.NewWithClock(clock.NewSim(seed))
+		opts = append(opts, faas.WithMetrics(reg))
+	}
 	results, names, err := faas.CompareSchedulers(fns, trace, continuum.EdgeCloudTestbed,
-		[]faas.Scheduler{faas.EdgeFirst{}, faas.CloudOnly{}, faas.EnergyAware{}})
+		[]faas.Scheduler{faas.EdgeFirst{}, faas.CloudOnly{}, faas.EnergyAware{}}, opts...)
 	if err != nil {
 		return err
 	}
@@ -111,6 +123,9 @@ func faasScenario(out io.Writer, rate, horizon float64, seed int64) error {
 		}
 		fmt.Fprintf(out, "%-14s %9.3fs %9.3fs %9.1f%% %8d %8d %9.0fJ\n",
 			n, s.Median, s.P95, r.OffloadRate()*100, r.ColdStarts, r.Violations, r.EnergyJ)
+	}
+	if reg != nil {
+		fmt.Fprintf(out, "\n# metrics (Prometheus text exposition)\n%s", reg.PromText())
 	}
 	return nil
 }

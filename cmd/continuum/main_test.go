@@ -57,3 +57,36 @@ func TestFaultsScenario(t *testing.T) {
 		t.Errorf("faults output:\n%s", out)
 	}
 }
+
+// -metrics appends a Prometheus exposition, namespaced per scheduler, and
+// the whole report — table plus metrics — is byte-identical across runs.
+func TestFaaSScenarioMetrics(t *testing.T) {
+	render := func() string {
+		var sb strings.Builder
+		if err := run([]string{"-scenario", "faas", "-rate", "10", "-horizon", "20", "-metrics"}, &sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	out := render()
+	for _, want := range []string{
+		"# metrics (Prometheus text exposition)",
+		"# TYPE edge_first_faas_invocations counter",
+		"# TYPE cloud_only_faas_response_s summary",
+		`energy_aware_faas_response_s{quantile="0.95"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if again := render(); again != out {
+		t.Error("-metrics output differs across identical runs")
+	}
+	var plain strings.Builder
+	if err := run([]string{"-scenario", "faas", "-rate", "10", "-horizon", "20"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "# metrics") {
+		t.Error("metrics printed without the flag")
+	}
+}

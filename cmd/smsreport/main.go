@@ -21,9 +21,11 @@ import (
 	"runtime"
 
 	"repro/internal/catalog"
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/par"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -42,9 +44,17 @@ func run(args []string, stdout io.Writer) error {
 		outDir      = fs.String("out", "", "write all artifacts into this directory")
 		catalogPath = fs.String("catalog", "", "load catalog from JSON file instead of the embedded dataset")
 		workers     = fs.Int("workers", runtime.GOMAXPROCS(0), "render worker pool size (1 = sequential; output is identical for any value)")
+		metrics     = fs.Bool("metrics", false, "append Prometheus-text render metrics after the output")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var reg *telemetry.Registry
+	if *metrics {
+		// A Sim clock keeps the exposition wall-clock free: the metrics
+		// depend only on the rendered artifacts, so identical invocations
+		// give byte-identical output regardless of machine or worker count.
+		reg = telemetry.NewWithClock(clock.NewSim(1))
 	}
 
 	cat := catalog.Default()
@@ -65,30 +75,55 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *outDir != "" {
-		return writeAll(study, *outDir, *workers)
+		if err := writeAll(study, *outDir, *workers, reg); err != nil {
+			return err
+		}
+		return printMetrics(stdout, reg)
 	}
 	if *tableN != 0 {
 		out, err := renderTable(study, *tableN, *format)
 		if err != nil {
 			return err
 		}
+		observeRender(reg, out)
 		fmt.Fprint(stdout, out)
-		return nil
+		return printMetrics(stdout, reg)
 	}
 	if *figN != 0 {
 		out, err := renderFig(study, *figN, *format)
 		if err != nil {
 			return err
 		}
+		observeRender(reg, out)
 		fmt.Fprint(stdout, out)
-		return nil
+		return printMetrics(stdout, reg)
 	}
 	full, err := report.Full(study, par.Workers(*workers))
 	if err != nil {
 		return err
 	}
+	observeRender(reg, full)
 	fmt.Fprint(stdout, full)
-	return nil
+	return printMetrics(stdout, reg)
+}
+
+// observeRender records one rendered artifact into the metrics registry.
+func observeRender(reg *telemetry.Registry, out string) {
+	if reg == nil {
+		return
+	}
+	reg.Inc("smsreport.renders", 1)
+	reg.Inc("smsreport.bytes_total", int64(len(out)))
+	reg.Observe("smsreport.artifact_bytes", float64(len(out)))
+}
+
+// printMetrics appends the Prometheus exposition when -metrics was given.
+func printMetrics(stdout io.Writer, reg *telemetry.Registry) error {
+	if reg == nil {
+		return nil
+	}
+	_, err := fmt.Fprintf(stdout, "\n# metrics (Prometheus text exposition)\n%s", reg.PromText())
+	return err
 }
 
 func renderTable(s *core.Study, n int, format string) (string, error) {
@@ -164,7 +199,7 @@ func renderFig(s *core.Study, n int, format string) (string, error) {
 // writeAll materializes every artifact in every applicable format under
 // dir. Artifacts render concurrently on the worker pool and are written in
 // the fixed artifact order, so repeated runs produce identical files.
-func writeAll(s *core.Study, dir string, workers int) error {
+func writeAll(s *core.Study, dir string, workers int, reg *telemetry.Registry) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -219,6 +254,9 @@ func writeAll(s *core.Study, dir string, workers int) error {
 		return err
 	}
 	for i, a := range artifacts {
+		// Observed in fixed artifact order after the parallel gather, so the
+		// registry contents never depend on the worker count.
+		observeRender(reg, rendered[i])
 		if err := os.WriteFile(filepath.Join(dir, a.name), []byte(rendered[i]), 0o644); err != nil {
 			return err
 		}

@@ -154,3 +154,41 @@ func TestExtensionFigure(t *testing.T) {
 		t.Error("extension csv missing years")
 	}
 }
+
+// -metrics appends a deterministic Prometheus exposition covering the
+// rendered artifacts; identical invocations are byte-identical.
+func TestMetricsFlag(t *testing.T) {
+	out := runCapture(t, "-fig", "2", "-format", "csv", "-metrics")
+	for _, want := range []string{
+		"# metrics (Prometheus text exposition)",
+		"# TYPE smsreport_renders counter\nsmsreport_renders 1\n",
+		"# TYPE smsreport_artifact_bytes summary",
+		"smsreport_artifact_bytes_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if again := runCapture(t, "-fig", "2", "-format", "csv", "-metrics"); again != out {
+		t.Error("-metrics output differs across identical runs")
+	}
+	if strings.Contains(runCapture(t, "-fig", "2", "-format", "csv"), "# metrics") {
+		t.Error("metrics printed without the flag")
+	}
+}
+
+// Under -out, every artifact is counted and the exposition is identical for
+// any worker-pool size.
+func TestMetricsWriteAllWorkerInvariant(t *testing.T) {
+	render := func(workers string) string {
+		dir := t.TempDir()
+		return runCapture(t, "-out", dir, "-workers", workers, "-metrics")
+	}
+	out := render("1")
+	if !strings.Contains(out, "smsreport_renders 20") {
+		t.Errorf("expected 20 artifacts counted:\n%s", out)
+	}
+	if got := render("8"); got != out {
+		t.Errorf("metrics differ between 1 and 8 workers:\n--- want\n%s--- got\n%s", out, got)
+	}
+}

@@ -129,7 +129,7 @@ func (c *BarChart) SVG(width, height int) (string, error) {
 		width, height, width, height)
 	if c.Title != "" {
 		fmt.Fprintf(&b, `<text x="%d" y="20" text-anchor="middle" font-family="sans-serif" font-size="14">%s</text>`+"\n",
-			width/2, escapeXML(c.Title))
+			width/2, xmlEscape(c.Title))
 	}
 	// Axes.
 	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
@@ -153,17 +153,17 @@ func (c *BarChart) SVG(width, height int) (string, error) {
 		x := float64(marginL) + float64(i)*slot + (slot-barW)/2
 		y := float64(marginT+plotH) - h
 		fmt.Fprintf(&b, `<rect x="%g" y="%g" width="%g" height="%g" fill="%s"><title>%s: %d</title></rect>`+"\n",
-			x, y, barW, h, defaultPalette[0], escapeXML(bar.Label), bar.Value)
+			x, y, barW, h, defaultPalette[0], xmlEscape(bar.Label), bar.Value)
 		fmt.Fprintf(&b, `<text x="%g" y="%d" text-anchor="middle" font-family="sans-serif" font-size="11">%s</text>`+"\n",
-			x+barW/2, marginT+plotH+16, escapeXML(bar.Label))
+			x+barW/2, marginT+plotH+16, xmlEscape(bar.Label))
 	}
 	if c.XLabel != "" {
 		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-family="sans-serif" font-size="12">%s</text>`+"\n",
-			marginL+plotW/2, height-8, escapeXML(c.XLabel))
+			marginL+plotW/2, height-8, xmlEscape(c.XLabel))
 	}
 	if c.YLabel != "" {
 		fmt.Fprintf(&b, `<text x="14" y="%d" text-anchor="middle" font-family="sans-serif" font-size="12" transform="rotate(-90 14 %d)">%s</text>`+"\n",
-			marginT+plotH/2, marginT+plotH/2, escapeXML(c.YLabel))
+			marginT+plotH/2, marginT+plotH/2, xmlEscape(c.YLabel))
 	}
 	b.WriteString("</svg>\n")
 	return b.String(), nil

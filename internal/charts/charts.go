@@ -130,7 +130,7 @@ func (p *Pie) SVG(size int) (string, error) {
 		size+legendW, size+24, size+legendW, size+24)
 	if p.Title != "" {
 		fmt.Fprintf(&b, `<text x="%g" y="16" text-anchor="middle" font-family="sans-serif" font-size="14">%s</text>`+"\n",
-			cx, escapeXML(p.Title))
+			cx, xmlEscape(p.Title))
 	}
 	angle := -90.0 // start at 12 o'clock like the paper's figures
 	for i, s := range p.Slices {
@@ -144,7 +144,7 @@ func (p *Pie) SVG(size int) (string, error) {
 			// Full-circle wedge: an arc with identical endpoints renders as
 			// nothing, so emit a circle instead.
 			fmt.Fprintf(&b, `<circle cx="%g" cy="%g" r="%g" fill="%s"><title>%s: %d</title></circle>`+"\n",
-				cx, cy+24, r, color, escapeXML(s.Label), s.Value)
+				cx, cy+24, r, color, xmlEscape(s.Label), s.Value)
 			angle += sweep
 			continue
 		}
@@ -155,7 +155,7 @@ func (p *Pie) SVG(size int) (string, error) {
 			large = 1
 		}
 		fmt.Fprintf(&b, `<path d="M%g,%g L%g,%g A%g,%g 0 %d 1 %g,%g Z" fill="%s" stroke="white" stroke-width="1"><title>%s: %d (%.1f%%)</title></path>`+"\n",
-			cx, cy+24, x1, y1, r, r, large, x2, y2, color, escapeXML(s.Label), s.Value, frac*100)
+			cx, cy+24, x1, y1, r, r, large, x2, y2, color, xmlEscape(s.Label), s.Value, frac*100)
 		angle += sweep
 	}
 	// Legend.
@@ -164,7 +164,7 @@ func (p *Pie) SVG(size int) (string, error) {
 		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="14" height="14" fill="%s"/>`+"\n",
 			size+8, y, defaultPalette[i%len(defaultPalette)])
 		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">%s (%d)</text>`+"\n",
-			size+28, y+12, escapeXML(s.Label), s.Value)
+			size+28, y+12, xmlEscape(s.Label), s.Value)
 	}
 	b.WriteString("</svg>\n")
 	return b.String(), nil
@@ -189,10 +189,13 @@ func arcPoint(cx, cy, r, deg float64) (float64, float64) {
 	return cx + r*math.Cos(rad), cy + r*math.Sin(rad)
 }
 
-func escapeXML(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
-	return r.Replace(s)
-}
+var xmlReplacer = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+
+// xmlEscape makes a label safe inside SVG text content and attribute
+// values — the counterpart of csvEscape for the XML renderers. Every label
+// interpolated into an SVG document must pass through it, or a label like
+// "R&D <edge>" produces a document that is not well-formed XML.
+func xmlEscape(s string) string { return xmlReplacer.Replace(s) }
 
 func csvEscape(s string) string {
 	if strings.ContainsAny(s, ",\"\n") {

@@ -1,6 +1,8 @@
 package charts
 
 import (
+	"encoding/xml"
+	"io"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -353,5 +355,61 @@ func TestMatrixSVG(t *testing.T) {
 	}
 	if got := strings.Count(svg, "<rect"); got != 4 {
 		t.Errorf("grid cells = %d, want 4", got)
+	}
+}
+
+// Labels containing XML metacharacters must round-trip through the escape
+// helper: the SVG output of every renderer has to parse as well-formed XML
+// (regression test for unescaped <text> content).
+func TestSVGEscapesHostileLabels(t *testing.T) {
+	hostile := `R&D <edge>`
+	pie := &Pie{Title: `Q&A "pies" <svg>`, Slices: []Slice{
+		{Label: hostile, Value: 3},
+		{Label: "plain", Value: 2},
+	}}
+	pieSVG, err := pie.SVG(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bar := &BarChart{Title: hostile, XLabel: "x & y", YLabel: "<count>", Bars: []Bar{
+		{Label: hostile, Value: 5},
+		{Label: "b", Value: 1},
+	}}
+	barSVG, err := bar.SVG(200, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matrix := &Matrix{
+		Title:     hostile,
+		RowLabels: []string{hostile, "row"},
+		ColLabels: []string{`<col>`, "c&d"},
+		Cells:     [][]bool{{true, false}, {false, true}},
+	}
+	matrixSVG, err := matrix.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, svg := range map[string]string{"pie": pieSVG, "bar": barSVG, "matrix": matrixSVG} {
+		if strings.Contains(svg, hostile) {
+			t.Errorf("%s: hostile label emitted verbatim", name)
+		}
+		if !strings.Contains(svg, "R&amp;D &lt;edge&gt;") {
+			t.Errorf("%s: escaped label missing:\n%s", name, svg)
+		}
+		dec := xml.NewDecoder(strings.NewReader(svg))
+		for {
+			if _, err := dec.Token(); err != nil {
+				if err == io.EOF {
+					break
+				}
+				t.Fatalf("%s: SVG is not well-formed XML: %v", name, err)
+			}
+		}
+	}
+}
+
+func TestXMLEscape(t *testing.T) {
+	if got := xmlEscape(`a&b<c>d"e`); got != `a&amp;b&lt;c&gt;d&quot;e` {
+		t.Errorf("xmlEscape = %q", got)
 	}
 }

@@ -73,12 +73,12 @@ func (m *Matrix) SVG() (string, error) {
 		width, height, width, height)
 	if m.Title != "" {
 		fmt.Fprintf(&b, `<text x="%d" y="16" font-family="sans-serif" font-size="13">%s</text>`+"\n",
-			8, escapeXML(m.Title))
+			8, xmlEscape(m.Title))
 	}
 	for c, l := range m.ColLabels {
 		x := labelW + c*cell + cell/2
 		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-family="sans-serif" font-size="11">%s</text>`+"\n",
-			x, headerH-8, escapeXML(l))
+			x, headerH-8, xmlEscape(l))
 	}
 	for r, l := range m.RowLabels {
 		y := headerH + r*cell
@@ -88,14 +88,14 @@ func (m *Matrix) SVG() (string, error) {
 		}
 		color := defaultPalette[group%len(defaultPalette)]
 		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11" fill="%s">%s</text>`+"\n",
-			8, y+15, color, escapeXML(l))
+			8, y+15, color, xmlEscape(l))
 		for c := range m.ColLabels {
 			x := labelW + c*cell
 			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#ddd"/>`+"\n",
 				x, y, cell, cell)
 			if m.Cells[r][c] {
 				fmt.Fprintf(&b, `<circle cx="%d" cy="%d" r="6" fill="%s"><title>%s × %s</title></circle>`+"\n",
-					x+cell/2, y+cell/2, color, escapeXML(l), escapeXML(m.ColLabels[c]))
+					x+cell/2, y+cell/2, color, xmlEscape(l), xmlEscape(m.ColLabels[c]))
 			}
 		}
 	}

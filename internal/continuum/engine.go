@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
+	"repro/internal/clock"
 	"repro/internal/par"
 )
 
@@ -174,6 +176,27 @@ func (e *Engine) Run(until float64) error {
 
 // RunAll executes events until the queue drains.
 func (e *Engine) RunAll() error { return e.Run(math.Inf(1)) }
+
+// engineClock exposes the engine's simulated time as a clock.Clock, mapping
+// sim-seconds onto time.Time as offsets from clock.Epoch. This unifies the
+// engine's ad-hoc float64 clock with the repository-wide clock contract, so
+// telemetry recorded during a simulation (spans, last-update stamps) carries
+// simulated — hence reproducible — timestamps.
+type engineClock struct{ e *Engine }
+
+// Now implements clock.Clock.
+func (c engineClock) Now() time.Time { return clock.FromSeconds(c.e.now) }
+
+// Since implements clock.Clock.
+func (c engineClock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+
+// Sleep implements clock.Clock as a no-op: engine time advances only by
+// executing events, never by blocking.
+func (engineClock) Sleep(time.Duration) {}
+
+// Clock returns a clock.Clock view of the engine's simulated time. The view
+// is live: it reads the engine's current time on every call.
+func (e *Engine) Clock() clock.Clock { return engineClock{e} }
 
 // AdvanceTo moves the clock to t without executing anything, failing if
 // events before t are still pending (to prevent silently skipping work).

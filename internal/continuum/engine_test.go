@@ -6,6 +6,9 @@ import (
 	"math/rand"
 	"sort"
 	"testing"
+	"time"
+
+	"repro/internal/clock"
 )
 
 func TestEngineOrdering(t *testing.T) {
@@ -256,5 +259,37 @@ func TestEngineDeterminism(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("trace diverged at %d: %v vs %v", i, a[i], b[i])
 		}
+	}
+}
+
+// The engine exposes its simulated time as a clock.Clock on the unified
+// Epoch timeline, and the view is live.
+func TestEngineClock(t *testing.T) {
+	e := NewEngine()
+	c := e.Clock()
+	if !c.Now().Equal(clock.Epoch) {
+		t.Errorf("engine clock starts at %v, want Epoch", c.Now())
+	}
+	var seen time.Time
+	e.MustSchedule(2.5, func() { seen = c.Now() })
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := clock.Epoch.Add(2500 * time.Millisecond)
+	if !seen.Equal(want) {
+		t.Errorf("clock inside event = %v, want %v", seen, want)
+	}
+	if !c.Now().Equal(want) {
+		t.Errorf("live view = %v, want %v", c.Now(), want)
+	}
+	if got := c.Since(clock.Epoch); got != 2500*time.Millisecond {
+		t.Errorf("Since = %v", got)
+	}
+	c.Sleep(time.Hour) // no-op: engine time advances only via events
+	if !c.Now().Equal(want) {
+		t.Error("Sleep moved engine time")
+	}
+	if got := clock.Seconds(c.Now()); got != e.Now() {
+		t.Errorf("Seconds(clock) = %v, engine = %v", got, e.Now())
 	}
 }

@@ -2,8 +2,10 @@ package faas
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
+	"repro/internal/clock"
 	"repro/internal/continuum"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -305,5 +307,69 @@ func TestMetricsIntegration(t *testing.T) {
 	}
 	if p.Metrics.Gauge("faas.energy_j") != r.EnergyJ {
 		t.Error("energy gauge mismatch")
+	}
+}
+
+// Two identical seeded runs through the metrics layer must expose
+// byte-identical PromText and trace output — the observability artifacts are
+// as deterministic as the simulation itself.
+func TestMetricsPromTextDeterministic(t *testing.T) {
+	render := func() (string, string) {
+		reg := telemetry.NewWithClock(clock.NewSim(3))
+		p := NewPlatform(continuum.EdgeCloudTestbed(), EdgeFirst{})
+		p.Metrics = reg
+		for _, fn := range testFunctions() {
+			if err := p.Deploy(fn); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tr := PoissonTrace(testFunctions(), 5, 20, rand.New(rand.NewSource(8)))
+		if _, err := p.Run(tr); err != nil {
+			t.Fatal(err)
+		}
+		return reg.PromText(), reg.TraceText()
+	}
+	prom1, trace1 := render()
+	prom2, trace2 := render()
+	if prom1 != prom2 {
+		t.Errorf("PromText differs across identical runs:\n--- first\n%s--- second\n%s", prom1, prom2)
+	}
+	if trace1 != trace2 {
+		t.Errorf("TraceText differs across identical runs")
+	}
+	if !strings.Contains(prom1, "faas_invocations") {
+		t.Errorf("PromText missing faas metrics:\n%s", prom1)
+	}
+	if !strings.Contains(trace1, "faas.invoke") {
+		t.Errorf("TraceText missing invoke spans:\n%s", trace1)
+	}
+}
+
+// WithMetrics namespaces each compared scheduler's metrics and spans by its
+// name, so one registry can hold a whole comparison without collisions.
+func TestCompareSchedulersWithMetrics(t *testing.T) {
+	fns := testFunctions()
+	tr := PoissonTrace(fns, 10, 30, rand.New(rand.NewSource(6)))
+	reg := telemetry.NewWithClock(clock.NewSim(1))
+	results, names, err := CompareSchedulers(fns, tr,
+		continuum.EdgeCloudTestbed,
+		[]Scheduler{EdgeFirst{}, CloudOnly{}},
+		WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if got := reg.Counter(n + ".faas.invocations"); got != int64(len(results[n].Outcomes)) {
+			t.Errorf("%s invocations counter = %d, want %d", n, got, len(results[n].Outcomes))
+		}
+	}
+	kinds := map[string]bool{}
+	for _, sp := range reg.Spans() {
+		kinds[sp.Kind] = true
+	}
+	for _, n := range names {
+		if !kinds[n+".faas.invoke"] {
+			t.Errorf("no spans recorded for scheduler %s (kinds: %v)", n, kinds)
+		}
 	}
 }

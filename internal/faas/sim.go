@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/clock"
 	"repro/internal/continuum"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -25,11 +26,20 @@ type Platform struct {
 	UserLatency func(source string, n *continuum.Node) float64
 	// Metrics, when non-nil, receives per-run counters ("faas.invocations",
 	// "faas.rejected", "faas.cold_starts", "faas.violations", per-node
-	// "faas.served.<node>") and the "faas.response_s" latency series.
+	// "faas.served.<node>"), the "faas.response_s" latency series, and one
+	// "faas.invoke" span per served invocation stamped with simulated time
+	// (the engine clock), so the trace of a run is byte-stable.
 	Metrics *telemetry.Registry
+	// MetricsPrefix namespaces every metric and span kind this platform
+	// emits — set it when several platforms share one registry (e.g.
+	// scheduler comparisons).
+	MetricsPrefix string
 
 	functions map[string]*Function
 }
+
+// metric returns a metric name under the platform's prefix.
+func (p *Platform) metric(name string) string { return p.MetricsPrefix + name }
 
 // NewPlatform returns a platform with Serverledge-like defaults: 500 ms cold
 // start, 10 min warm TTL.
@@ -242,17 +252,29 @@ func (p *Platform) Run(trace Trace) (*Result, error) {
 		res.EnergyJ += n.IdleW * makespan
 	}
 	if p.Metrics != nil {
-		p.Metrics.Inc("faas.invocations", int64(len(res.Outcomes)))
-		p.Metrics.Inc("faas.rejected", int64(res.Rejected))
-		p.Metrics.Inc("faas.cold_starts", int64(res.ColdStarts))
-		p.Metrics.Inc("faas.violations", int64(res.Violations))
-		p.Metrics.SetGauge("faas.energy_j", res.EnergyJ)
+		p.Metrics.Inc(p.metric("faas.invocations"), int64(len(res.Outcomes)))
+		p.Metrics.Inc(p.metric("faas.rejected"), int64(res.Rejected))
+		p.Metrics.Inc(p.metric("faas.cold_starts"), int64(res.ColdStarts))
+		p.Metrics.Inc(p.metric("faas.violations"), int64(res.Violations))
+		p.Metrics.SetGauge(p.metric("faas.energy_j"), res.EnergyJ)
 		for _, o := range res.Outcomes {
 			if o.Rejected {
 				continue
 			}
-			p.Metrics.Inc("faas.served."+o.NodeID, 1)
-			p.Metrics.Observe("faas.response_s", o.ResponseS)
+			p.Metrics.Inc(p.metric("faas.served."+o.NodeID), 1)
+			p.Metrics.Observe(p.metric("faas.response_s"), o.ResponseS)
+			// Span per served invocation, on the unified simulated
+			// timeline (arrival → finish, network excluded).
+			sp := telemetry.Span{
+				Kind:  p.MetricsPrefix + "faas.invoke",
+				Name:  o.Function + "@" + o.NodeID,
+				Start: clock.FromSeconds(o.ArrivalS),
+				End:   clock.FromSeconds(o.FinishS),
+			}
+			if o.DeadlineMiss {
+				sp.Err = "deadline miss"
+			}
+			p.Metrics.RecordSpan(sp)
 		}
 	}
 	return res, nil
@@ -314,14 +336,30 @@ func (p *Platform) EvaluateMigration(plan MigrationPlan) (*MigrationOutcome, err
 	return out, nil
 }
 
+// CompareOption tweaks the platforms CompareSchedulers builds.
+type CompareOption func(*Platform)
+
+// WithMetrics attaches reg to every compared platform, namespacing each
+// scheduler's metrics and spans under "<scheduler name>." so they coexist
+// in the one registry.
+func WithMetrics(reg *telemetry.Registry) CompareOption {
+	return func(p *Platform) {
+		p.Metrics = reg
+		p.MetricsPrefix = p.Sched.Name() + "."
+	}
+}
+
 // CompareSchedulers runs the same trace under several schedulers on fresh
 // copies of the infrastructure built by mkInf, returning results keyed by
 // scheduler name and sorted name list for deterministic iteration.
-func CompareSchedulers(fns []Function, trace Trace, mkInf func() *continuum.Infrastructure, scheds []Scheduler) (map[string]*Result, []string, error) {
+func CompareSchedulers(fns []Function, trace Trace, mkInf func() *continuum.Infrastructure, scheds []Scheduler, opts ...CompareOption) (map[string]*Result, []string, error) {
 	out := map[string]*Result{}
 	var names []string
 	for _, s := range scheds {
 		p := NewPlatform(mkInf(), s)
+		for _, o := range opts {
+			o(p)
+		}
 		for _, fn := range fns {
 			if err := p.Deploy(fn); err != nil {
 				return nil, nil, err

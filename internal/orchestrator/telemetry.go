@@ -1,0 +1,45 @@
+package orchestrator
+
+import (
+	"repro/internal/clock"
+	"repro/internal/continuum"
+	"repro/internal/telemetry"
+	"repro/internal/workflow"
+)
+
+// SimulateObserved runs Simulate and, when reg is non-nil, records the
+// schedule into the registry: one "orchestrator.step" span per step on the
+// unified simulated timeline (clock.Epoch + sim seconds), the per-step
+// duration/wait/transfer series, and makespan/energy gauges. Steps are
+// recorded in workflow insertion order, so the registry contents — and any
+// rendering of them — are identical across runs.
+func SimulateObserved(wf *workflow.Workflow, inf *continuum.Infrastructure, p Placement, policyName string, reg *telemetry.Registry) (*Schedule, error) {
+	sched, err := Simulate(wf, inf, p, policyName)
+	if err != nil {
+		return nil, err
+	}
+	if reg == nil {
+		return sched, nil
+	}
+	prefix := ""
+	if policyName != "" {
+		prefix = policyName + "."
+	}
+	for _, s := range wf.Steps() {
+		tr := sched.Steps[s.ID]
+		reg.Inc(prefix+"orchestrator.steps", 1)
+		reg.Observe(prefix+"orchestrator.step_s", tr.Finish-tr.Start)
+		reg.Observe(prefix+"orchestrator.wait_s", tr.WaitS)
+		reg.Observe(prefix+"orchestrator.transfer_s", tr.TransferS)
+		reg.RecordSpan(telemetry.Span{
+			Kind:  prefix + "orchestrator.step",
+			Name:  s.ID + "@" + tr.NodeID,
+			Start: clock.FromSeconds(tr.Start),
+			End:   clock.FromSeconds(tr.Finish),
+		})
+	}
+	reg.SetGauge(prefix+"orchestrator.makespan_s", sched.Makespan)
+	reg.SetGauge(prefix+"orchestrator.energy_j", sched.TotalEnergyJ())
+	reg.SetGauge(prefix+"orchestrator.cost_eur", sched.CostEUR)
+	return sched, nil
+}

@@ -1,9 +1,15 @@
 // Package telemetry implements the performance-monitoring layer the
 // paper's discussion (Section 4, Q1) flags as missing from the surveyed
 // workflow ecosystem: a small, concurrency-safe metrics registry with
-// counters, gauges and sample series, snapshots, and a text rendering —
-// enough for WMS components (schedulers, runtimes, simulators) to expose
-// their behaviour uniformly.
+// counters, gauges, timestamped sample series, span-style trace records
+// (trace.go), snapshots, a text rendering, and a Prometheus-text-format
+// exposition (prom.go) — enough for WMS components (schedulers, runtimes,
+// simulators) to expose their behaviour uniformly.
+//
+// All timestamps are read through an injected clock.Clock (clock.System by
+// default), so a registry wired to a clock.Sim or a continuum engine clock
+// produces byte-identical output across runs — the reproducibility contract
+// of DESIGN.md §4.
 package telemetry
 
 import (
@@ -11,27 +17,49 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/clock"
 	"repro/internal/stats"
 )
+
+// Sample is one timestamped observation in a series.
+type Sample struct {
+	V  float64
+	At time.Time
+}
 
 // Registry holds named metrics. The zero value is not usable; call New.
 type Registry struct {
 	mu       sync.Mutex
+	clk      clock.Clock
 	counters map[string]int64
 	gauges   map[string]float64
-	series   map[string][]float64
+	series   map[string][]Sample
+	last     map[string]time.Time
+	spans    []Span
 	// SeriesCap bounds the samples kept per series (oldest dropped).
 	SeriesCap int
+	// SpanCap bounds the trace records kept (oldest dropped).
+	SpanCap int
 }
 
-// New returns an empty registry keeping up to 4096 samples per series.
-func New() *Registry {
+// New returns an empty registry on the system (wall) clock, keeping up to
+// 4096 samples per series and 4096 spans.
+func New() *Registry { return NewWithClock(clock.System) }
+
+// NewWithClock returns an empty registry stamping updates with c. Pass a
+// *clock.Sim or a continuum engine clock to make every timestamp — and
+// hence every rendering — deterministic.
+func NewWithClock(c clock.Clock) *Registry {
 	return &Registry{
+		clk:       clock.Or(c),
 		counters:  map[string]int64{},
 		gauges:    map[string]float64{},
-		series:    map[string][]float64{},
+		series:    map[string][]Sample{},
+		last:      map[string]time.Time{},
 		SeriesCap: 4096,
+		SpanCap:   4096,
 	}
 }
 
@@ -40,6 +68,7 @@ func (r *Registry) Inc(name string, delta int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.counters[name] += delta
+	r.last[name] = r.clk.Now()
 }
 
 // Counter reads a counter.
@@ -54,6 +83,7 @@ func (r *Registry) SetGauge(name string, v float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.gauges[name] = v
+	r.last[name] = r.clk.Now()
 }
 
 // Gauge reads a gauge (0 if unset).
@@ -63,21 +93,77 @@ func (r *Registry) Gauge(name string) float64 {
 	return r.gauges[name]
 }
 
-// Observe appends a sample to a series (e.g. a latency).
+// DeclareSeries registers an (empty) series so it appears in snapshots and
+// the Prometheus exposition even before the first observation — a metric
+// that silently vanishes when idle is indistinguishable from one that was
+// never wired up.
+func (r *Registry) DeclareSeries(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.series[name]; !ok {
+		r.series[name] = nil
+	}
+}
+
+// Observe appends a sample to a series (e.g. a latency), stamped with the
+// registry clock.
 func (r *Registry) Observe(name string, v float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	s := append(r.series[name], v)
+	now := r.clk.Now()
+	s := append(r.series[name], Sample{V: v, At: now})
 	if r.SeriesCap > 0 && len(s) > r.SeriesCap {
-		s = s[len(s)-r.SeriesCap:]
+		if cap(s) > 2*r.SeriesCap {
+			// Oversized backing array (e.g. SeriesCap was lowered after
+			// samples accumulated): copy into a fresh slice so the old
+			// array can be collected instead of being pinned by a
+			// re-slice forever.
+			fresh := make([]Sample, r.SeriesCap)
+			copy(fresh, s[len(s)-r.SeriesCap:])
+			s = fresh
+		} else {
+			// Shift the window down in place: keeps capacity bounded by
+			// one append-growth step above SeriesCap without allocating.
+			copy(s, s[len(s)-r.SeriesCap:])
+			s = s[:r.SeriesCap]
+		}
 	}
 	r.series[name] = s
+	r.last[name] = now
+}
+
+// Samples returns a copy of a series' timestamped samples (nil if the
+// series does not exist).
+func (r *Registry) Samples(name string) []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.series[name]
+	if !ok {
+		return nil
+	}
+	return append([]Sample(nil), s...)
+}
+
+// LastUpdate returns when a metric was last written (zero time if never).
+func (r *Registry) LastUpdate(name string) time.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.last[name]
+}
+
+// values extracts the sample values of a series. Callers hold r.mu.
+func values(s []Sample) []float64 {
+	out := make([]float64, len(s))
+	for i, smp := range s {
+		out[i] = smp.V
+	}
+	return out
 }
 
 // Summary returns the descriptive statistics of a series.
 func (r *Registry) Summary(name string) (stats.Summary, error) {
 	r.mu.Lock()
-	samples := append([]float64(nil), r.series[name]...)
+	samples := values(r.series[name])
 	r.mu.Unlock()
 	return stats.Summarize(samples)
 }
@@ -87,16 +173,24 @@ type Snapshot struct {
 	Counters map[string]int64
 	Gauges   map[string]float64
 	Series   map[string]stats.Summary
+	// LastUpdate stamps every metric's most recent write.
+	LastUpdate map[string]time.Time
+	// SpanCount is the number of retained trace records.
+	SpanCount int
 }
 
-// Snapshot captures the current state.
+// Snapshot captures the current state. Every registered series appears:
+// one that was declared but never observed yields a zero-count Summary
+// rather than silently vanishing from the snapshot.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	snap := Snapshot{
-		Counters: make(map[string]int64, len(r.counters)),
-		Gauges:   make(map[string]float64, len(r.gauges)),
-		Series:   make(map[string]stats.Summary, len(r.series)),
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Series:     make(map[string]stats.Summary, len(r.series)),
+		LastUpdate: make(map[string]time.Time, len(r.last)),
+		SpanCount:  len(r.spans),
 	}
 	for k, v := range r.counters {
 		snap.Counters[k] = v
@@ -105,9 +199,16 @@ func (r *Registry) Snapshot() Snapshot {
 		snap.Gauges[k] = v
 	}
 	for k, s := range r.series {
-		if sum, err := stats.Summarize(s); err == nil {
-			snap.Series[k] = sum
+		sum, err := stats.Summarize(values(s))
+		if err != nil {
+			// Empty (declared-only) series: keep a zero-count entry so the
+			// metric stays visible instead of being dropped without trace.
+			sum = stats.Summary{}
 		}
+		snap.Series[k] = sum
+	}
+	for k, t := range r.last {
+		snap.LastUpdate[k] = t
 	}
 	return snap
 }

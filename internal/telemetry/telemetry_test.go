@@ -4,6 +4,9 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
+
+	"repro/internal/clock"
 )
 
 func TestCountersAndGauges(t *testing.T) {
@@ -101,5 +104,135 @@ func TestConcurrentSafety(t *testing.T) {
 	wg.Wait()
 	if got := r.Counter("n"); got != 8000 {
 		t.Errorf("counter = %d", got)
+	}
+}
+
+// Regression: trimming must not retain the grown backing array. The
+// capacity of a capped series stays bounded (within one append-growth step
+// of SeriesCap) no matter how many samples stream through.
+func TestSeriesCapacityBounded(t *testing.T) {
+	r := New()
+	r.SeriesCap = 64
+	for i := 0; i < 100_000; i++ {
+		r.Observe("s", float64(i))
+	}
+	r.mu.Lock()
+	c := cap(r.series["s"])
+	n := len(r.series["s"])
+	r.mu.Unlock()
+	if n != 64 {
+		t.Errorf("len = %d, want 64", n)
+	}
+	if c > 2*r.SeriesCap {
+		t.Errorf("cap = %d, want <= %d (backing array retained)", c, 2*r.SeriesCap)
+	}
+}
+
+// Lowering SeriesCap after samples accumulated releases the oversized
+// backing array on the next trim.
+func TestSeriesCapShrinkReleasesArray(t *testing.T) {
+	r := New()
+	r.SeriesCap = 4096
+	for i := 0; i < 4096; i++ {
+		r.Observe("s", float64(i))
+	}
+	r.SeriesCap = 16
+	r.Observe("s", -1)
+	r.mu.Lock()
+	c := cap(r.series["s"])
+	r.mu.Unlock()
+	if c > 32 {
+		t.Errorf("cap = %d after shrink, want <= 32", c)
+	}
+	s, err := r.Summary("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 16 || s.Max != 4095 || s.Min != -1 {
+		t.Errorf("window after shrink = %+v", s)
+	}
+}
+
+// Regression: a series that was declared but never observed must not
+// silently vanish from snapshots — it appears as a zero-count entry.
+func TestSnapshotKeepsEmptySeries(t *testing.T) {
+	r := New()
+	r.DeclareSeries("quiet.series")
+	snap := r.Snapshot()
+	sum, ok := snap.Series["quiet.series"]
+	if !ok {
+		t.Fatal("empty series dropped from snapshot")
+	}
+	if sum.N != 0 {
+		t.Errorf("empty series count = %d", sum.N)
+	}
+	if !strings.Contains(snap.String(), "quiet.series") {
+		t.Errorf("empty series missing from rendering:\n%s", snap.String())
+	}
+}
+
+func TestLastUpdateUsesInjectedClock(t *testing.T) {
+	sim := clock.NewSim(1)
+	r := NewWithClock(sim)
+	r.Inc("c", 1)
+	if got := r.LastUpdate("c"); !got.Equal(clock.Epoch) {
+		t.Errorf("last update = %v, want Epoch", got)
+	}
+	sim.Advance(5 * time.Second)
+	r.Observe("s", 1)
+	if got := r.LastUpdate("s"); !got.Equal(clock.Epoch.Add(5 * time.Second)) {
+		t.Errorf("last update = %v", got)
+	}
+	if got := r.Samples("s")[0].At; !got.Equal(clock.Epoch.Add(5 * time.Second)) {
+		t.Errorf("sample stamped %v", got)
+	}
+	if !r.Snapshot().LastUpdate["c"].Equal(clock.Epoch) {
+		t.Error("snapshot last-update wrong")
+	}
+	if r.LastUpdate("never") != (time.Time{}) {
+		t.Error("unknown metric has a last-update")
+	}
+}
+
+// Race-detector hammer: every public entry point concurrently.
+func TestRegistryRaceHammer(t *testing.T) {
+	sim := clock.NewSim(1)
+	r := NewWithClock(sim)
+	r.SeriesCap = 32
+	r.SpanCap = 32
+	r.DeclareSeries("lat")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				switch (g + j) % 6 {
+				case 0:
+					r.Inc("n", 1)
+				case 1:
+					r.Observe("lat", float64(j))
+				case 2:
+					r.SetGauge("g", float64(j))
+					sim.Advance(time.Microsecond)
+				case 3:
+					_ = r.Snapshot().String()
+				case 4:
+					_ = r.PromText()
+					_, _ = r.Summary("lat")
+				case 5:
+					sp := r.StartSpan(sim, "hammer", "span")
+					sp.End(nil)
+					_ = r.TraceText()
+					_ = r.Samples("lat")
+					_ = r.LastUpdate("n")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if r.SpanCount() == 0 || r.Counter("n") == 0 {
+		t.Error("hammer recorded nothing")
 	}
 }

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Span is one span-style trace record: a named unit of work (a workflow
+// step, a FaaS invocation, an orchestrated step) with a start and end time
+// read from a clock.Clock. With a simulated clock the timestamps are
+// simulation times, so traces are byte-stable artifacts.
+type Span struct {
+	// Kind groups spans by the subsystem that emitted them, e.g.
+	// "workflow.step" or "faas.invoke".
+	Kind string
+	// Name identifies the unit of work, e.g. the step ID or function name.
+	Name  string
+	Start time.Time
+	End   time.Time
+	// Err is the failure message, empty on success.
+	Err string
+}
+
+// Duration returns the span's length.
+func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// RecordSpan appends a finished span to the registry, dropping the oldest
+// when SpanCap is exceeded (same bounded-window policy as series).
+func (r *Registry) RecordSpan(sp Span) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := append(r.spans, sp)
+	if r.SpanCap > 0 && len(s) > r.SpanCap {
+		if cap(s) > 2*r.SpanCap {
+			fresh := make([]Span, r.SpanCap)
+			copy(fresh, s[len(s)-r.SpanCap:])
+			s = fresh
+		} else {
+			copy(s, s[len(s)-r.SpanCap:])
+			s = s[:r.SpanCap]
+		}
+	}
+	r.spans = s
+}
+
+// ActiveSpan is an in-flight span returned by StartSpan.
+type ActiveSpan struct {
+	r  *Registry
+	c  clock.Clock
+	sp Span
+}
+
+// StartSpan begins a span at c.Now(). Call End to finish and record it.
+func (r *Registry) StartSpan(c clock.Clock, kind, name string) *ActiveSpan {
+	c = clock.Or(c)
+	return &ActiveSpan{r: r, c: c, sp: Span{Kind: kind, Name: name, Start: c.Now()}}
+}
+
+// End finishes the span at the clock's current time and records it; err
+// (may be nil) becomes the span's failure message.
+func (a *ActiveSpan) End(err error) {
+	a.sp.End = a.c.Now()
+	if err != nil {
+		a.sp.Err = err.Error()
+	}
+	a.r.RecordSpan(a.sp)
+}
+
+// Spans returns the retained trace records sorted by (Start, Kind, Name,
+// End) — a canonical order independent of the (possibly concurrent)
+// recording order, so renderings of the same span multiset are identical.
+func (r *Registry) Spans() []Span {
+	r.mu.Lock()
+	out := append([]Span(nil), r.spans...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if !a.Start.Equal(b.Start) {
+			return a.Start.Before(b.Start)
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if !a.End.Equal(b.End) {
+			return a.End.Before(b.End)
+		}
+		return a.Err < b.Err
+	})
+	return out
+}
+
+// SpanCount returns the number of retained spans.
+func (r *Registry) SpanCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// TraceText renders the spans one per line in canonical order, with start
+// and end expressed in seconds since clock.Epoch — the simulation time
+// unit, so simulated traces read like event logs.
+func (r *Registry) TraceText() string {
+	var b strings.Builder
+	for _, sp := range r.Spans() {
+		fmt.Fprintf(&b, "span %-20s %-24s start=%.6f end=%.6f dur=%.6f",
+			sp.Kind, sp.Name, clock.Seconds(sp.Start), clock.Seconds(sp.End), sp.Duration().Seconds())
+		if sp.Err != "" {
+			fmt.Fprintf(&b, " err=%q", sp.Err)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

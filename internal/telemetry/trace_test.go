@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func TestStartSpanEnd(t *testing.T) {
+	sim := clock.NewSim(1)
+	r := NewWithClock(sim)
+	sp := r.StartSpan(sim, "workflow.step", "ingest")
+	sim.Advance(1500 * time.Millisecond)
+	sp.End(nil)
+
+	failed := r.StartSpan(sim, "workflow.step", "train")
+	sim.Advance(time.Second)
+	failed.End(errors.New("boom"))
+
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	if spans[0].Name != "ingest" || spans[0].Duration() != 1500*time.Millisecond || spans[0].Err != "" {
+		t.Errorf("first span = %+v", spans[0])
+	}
+	if spans[1].Name != "train" || spans[1].Err != "boom" {
+		t.Errorf("second span = %+v", spans[1])
+	}
+	if r.SpanCount() != 2 || r.Snapshot().SpanCount != 2 {
+		t.Error("span count not reported")
+	}
+}
+
+// Spans render in canonical (Start, Kind, Name) order regardless of the
+// order they were recorded in.
+func TestSpansCanonicalOrder(t *testing.T) {
+	r := NewWithClock(clock.NewSim(1))
+	at := func(s, e float64) (time.Time, time.Time) {
+		return clock.FromSeconds(s), clock.FromSeconds(e)
+	}
+	b0, b1 := at(2, 3)
+	a0, a1 := at(1, 5)
+	r.RecordSpan(Span{Kind: "k", Name: "later", Start: b0, End: b1})
+	r.RecordSpan(Span{Kind: "k", Name: "earlier", Start: a0, End: a1})
+	r.RecordSpan(Span{Kind: "k", Name: "also-at-1", Start: a0, End: a1})
+	spans := r.Spans()
+	if spans[0].Name != "also-at-1" || spans[1].Name != "earlier" || spans[2].Name != "later" {
+		t.Errorf("order = %s, %s, %s", spans[0].Name, spans[1].Name, spans[2].Name)
+	}
+	text := r.TraceText()
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	if len(lines) != 3 || !strings.Contains(lines[0], "also-at-1") {
+		t.Errorf("trace text:\n%s", text)
+	}
+	if !strings.Contains(lines[2], "start=2.000000 end=3.000000 dur=1.000000") {
+		t.Errorf("trace times wrong:\n%s", text)
+	}
+}
+
+func TestSpanCapBounded(t *testing.T) {
+	r := NewWithClock(clock.NewSim(1))
+	r.SpanCap = 8
+	for i := 0; i < 100; i++ {
+		r.RecordSpan(Span{Kind: "k", Name: "n", Start: clock.FromSeconds(float64(i)), End: clock.FromSeconds(float64(i) + 1)})
+	}
+	if got := r.SpanCount(); got != 8 {
+		t.Errorf("spans retained = %d, want 8", got)
+	}
+	r.mu.Lock()
+	c := cap(r.spans)
+	r.mu.Unlock()
+	if c > 2*r.SpanCap {
+		t.Errorf("span capacity %d exceeds bound %d", c, 2*r.SpanCap)
+	}
+	// Oldest dropped: the first retained span starts at t=92.
+	if got := clock.Seconds(r.Spans()[0].Start); got != 92 {
+		t.Errorf("first retained span at %v", got)
+	}
+}

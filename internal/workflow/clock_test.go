@@ -1,0 +1,208 @@
+package workflow
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/telemetry"
+)
+
+// flakyDiamond builds a diamond workflow where the two middle steps fail
+// their first n attempts — the reference flaky workload for determinism
+// tests.
+func flakyDiamond(t *testing.T, failures int) (*Workflow, map[string]StepFunc) {
+	t.Helper()
+	w := New("flaky-diamond")
+	w.MustAdd(Step{ID: "a"})
+	w.MustAdd(Step{ID: "b", After: []string{"a"}})
+	w.MustAdd(Step{ID: "c", After: []string{"a"}})
+	w.MustAdd(Step{ID: "d", After: []string{"b", "c"}})
+	bodies := map[string]StepFunc{
+		"a": constBody(1),
+		"b": FlakyBody(constBody(2), failures, errors.New("b transient")),
+		"c": FlakyBody(constBody(3), failures, errors.New("c transient")),
+		"d": constBody(4),
+	}
+	return w, bodies
+}
+
+// The determinism contract: two executions of the same flaky workflow with
+// the same seed and a clock.Sim marshal to byte-identical provenance JSON,
+// and the concurrency level does not leak into the artifact.
+func TestProvenanceByteIdenticalAcrossRunsAndConcurrency(t *testing.T) {
+	marshal := func(maxConcurrent int) []byte {
+		w, bodies := flakyDiamond(t, 2)
+		r := Runner{MaxConcurrent: maxConcurrent, Clock: clock.NewSim(42)}
+		_, prov, err := r.RunWithProvenance(context.Background(), w, bodies,
+			RetryPolicy{MaxAttempts: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := prov.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	want := marshal(1)
+	for run := 0; run < 3; run++ {
+		if got := marshal(1); !bytes.Equal(got, want) {
+			t.Fatalf("run %d differs from first run:\n%s\nvs\n%s", run, got, want)
+		}
+	}
+	for _, mc := range []int{2, 8, 0} {
+		if got := marshal(mc); !bytes.Equal(got, want) {
+			t.Fatalf("MaxConcurrent=%d changes provenance JSON:\n%s\nvs\n%s", mc, got, want)
+		}
+	}
+}
+
+// With a Sim clock carrying per-step jitter, a sequential run's provenance
+// records the modeled work durations — still byte-identical across runs
+// because the jitter depends only on (seed, step).
+func TestProvenanceJitteredWorkDurations(t *testing.T) {
+	run := func() ([]byte, *Provenance) {
+		sim := clock.NewSim(7)
+		sim.SetJitter(2 * time.Second)
+		w := New("chain")
+		w.MustAdd(Step{ID: "a"})
+		w.MustAdd(Step{ID: "b", After: []string{"a"}})
+		bodies := map[string]StepFunc{}
+		for _, id := range []string{"a", "b"} {
+			id := id
+			bodies[id] = func(ctx context.Context, deps map[string]any) (any, error) {
+				sim.Advance(sim.WorkDuration(id)) // model the step's own cost
+				return id, nil
+			}
+		}
+		r := Runner{MaxConcurrent: 1, Clock: sim}
+		_, prov, err := r.RunWithProvenance(context.Background(), w, bodies, RetryPolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := prov.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), prov
+	}
+	j1, prov := run()
+	j2, _ := run()
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("jittered provenance differs across runs:\n%s\nvs\n%s", j1, j2)
+	}
+	sim := clock.NewSim(7)
+	sim.SetJitter(2 * time.Second)
+	for _, id := range []string{"a", "b"} {
+		want := sim.WorkDuration(id).Seconds()
+		if got := prov.Activity(id).Attempts[0].Elapsed; got != want {
+			t.Errorf("step %s elapsed = %v, want modeled %v", id, got, want)
+		}
+	}
+}
+
+// Retry backoff is served through the injected clock: simulated waits
+// accrue on the Sim timeline (base × factor^attempt) and cost no wall time.
+func TestRetryBackoffOnSimClock(t *testing.T) {
+	sim := clock.NewSim(1)
+	w := New("retry")
+	w.MustAdd(Step{ID: "only"})
+	bodies := map[string]StepFunc{
+		"only": FlakyBody(constBody(1), 3, errors.New("transient")),
+	}
+	wallStart := time.Now()
+	r := Runner{Clock: sim}
+	_, prov, err := r.RunWithProvenance(context.Background(), w, bodies, RetryPolicy{
+		MaxAttempts:   4,
+		Backoff:       10 * time.Second,
+		BackoffFactor: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prov.TotalAttempts(); got != 4 {
+		t.Fatalf("attempts = %d", got)
+	}
+	// Waits: 10s + 20s + 40s of simulated time.
+	if got := sim.Since(clock.Epoch); got != 70*time.Second {
+		t.Errorf("simulated backoff = %v, want 70s", got)
+	}
+	if wall := time.Since(wallStart); wall > 5*time.Second {
+		t.Errorf("simulated backoff consumed %v of wall time", wall)
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	rp := RetryPolicy{Backoff: time.Second, BackoffFactor: 3}
+	for n, want := range map[int]time.Duration{1: time.Second, 2: 3 * time.Second, 3: 9 * time.Second} {
+		if got := rp.backoff(n); got != want {
+			t.Errorf("backoff(%d) = %v, want %v", n, got, want)
+		}
+	}
+	constant := RetryPolicy{Backoff: 2 * time.Second}
+	if constant.backoff(5) != 2*time.Second {
+		t.Error("zero factor must mean constant backoff")
+	}
+	if (RetryPolicy{}).backoff(3) != 0 {
+		t.Error("unset backoff must be zero")
+	}
+}
+
+// RunWithProvenance emits spans and counters into the runner's registry.
+func TestProvenanceTelemetry(t *testing.T) {
+	sim := clock.NewSim(1)
+	reg := telemetry.NewWithClock(sim)
+	w, bodies := flakyDiamond(t, 1)
+	r := Runner{Clock: sim, Metrics: reg}
+	if _, _, err := r.RunWithProvenance(context.Background(), w, bodies,
+		RetryPolicy{MaxAttempts: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("workflow.attempts"); got != 6 { // 4 steps + 2 retries
+		t.Errorf("attempts counter = %d", got)
+	}
+	if got := reg.Counter("workflow.retries"); got != 2 {
+		t.Errorf("retries counter = %d", got)
+	}
+	if got := reg.Counter("workflow.step_failures"); got != 0 {
+		t.Errorf("failures counter = %d", got)
+	}
+	spans := reg.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("spans = %d, want one per step", len(spans))
+	}
+	for _, sp := range spans {
+		if sp.Kind != "workflow.step" || sp.Err != "" {
+			t.Errorf("span = %+v", sp)
+		}
+	}
+	if s, err := reg.Summary("workflow.attempt_s"); err != nil || s.N != 6 {
+		t.Errorf("attempt series = %+v (%v)", s, err)
+	}
+}
+
+// A step that exhausts retries shows up as a failed span and counter.
+func TestProvenanceTelemetryFailure(t *testing.T) {
+	reg := telemetry.NewWithClock(clock.NewSim(1))
+	w := New("fails")
+	w.MustAdd(Step{ID: "only"})
+	bodies := map[string]StepFunc{
+		"only": FlakyBody(constBody(1), 10, errors.New("permanent")),
+	}
+	r := Runner{Clock: clock.NewSim(1), Metrics: reg}
+	if _, _, err := r.RunWithProvenance(context.Background(), w, bodies,
+		RetryPolicy{MaxAttempts: 2}); err == nil {
+		t.Fatal("expected failure")
+	}
+	if got := reg.Counter("workflow.step_failures"); got != 1 {
+		t.Errorf("failures counter = %d", got)
+	}
+	spans := reg.Spans()
+	if len(spans) != 1 || spans[0].Err != "permanent" {
+		t.Errorf("spans = %+v", spans)
+	}
+}

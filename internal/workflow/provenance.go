@@ -20,6 +20,9 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/clock"
+	"repro/internal/telemetry"
 )
 
 // Attempt is one execution try of a step.
@@ -75,6 +78,13 @@ type RetryPolicy struct {
 	MaxAttempts int
 	// Retryable decides whether an error is worth retrying (nil = all).
 	Retryable func(error) bool
+	// Backoff is the wait before the second attempt (0 = retry
+	// immediately). The wait is served through the runner's clock, so a
+	// clock.Sim pays it in simulated time only.
+	Backoff time.Duration
+	// BackoffFactor multiplies the wait after every failed attempt
+	// (values < 1, including the zero value, mean constant backoff).
+	BackoffFactor float64
 }
 
 func (rp RetryPolicy) attempts() int {
@@ -91,14 +101,39 @@ func (rp RetryPolicy) retryable(err error) bool {
 	return rp.Retryable(err)
 }
 
+// backoff returns the wait before attempt n+1 (n = 1-based attempt that
+// just failed).
+func (rp RetryPolicy) backoff(n int) time.Duration {
+	if rp.Backoff <= 0 {
+		return 0
+	}
+	d := rp.Backoff
+	f := rp.BackoffFactor
+	if f < 1 {
+		f = 1
+	}
+	for i := 1; i < n; i++ {
+		d = time.Duration(float64(d) * f)
+	}
+	return d
+}
+
 // RunWithProvenance executes the workflow like Runner.Run but wraps every
 // step body with the retry policy and records provenance. The returned
 // provenance lists activities in workflow insertion order, including steps
 // that were skipped (zero attempts).
+//
+// All attempt timing goes through the runner's clock: with the default
+// wall clock the elapsed fields are real durations; with a clock.Sim they
+// reflect only explicit clock advances, so the marshalled provenance of a
+// simulated run is byte-identical across executions (the determinism
+// contract of DESIGN.md §4). Retry backoff waits are served through the
+// same clock between attempts.
 func (r *Runner) RunWithProvenance(ctx context.Context, wf *Workflow, bodies map[string]StepFunc, rp RetryPolicy) (map[string]Result, *Provenance, error) {
 	if err := wf.Validate(); err != nil {
 		return nil, nil, err
 	}
+	c := clock.Or(r.Clock)
 	prov := &Provenance{Workflow: wf.Name}
 	var mu sync.Mutex
 	records := map[string]*Activity{}
@@ -114,16 +149,24 @@ func (r *Runner) RunWithProvenance(ctx context.Context, wf *Workflow, bodies map
 		sort.Strings(used)
 		wrapped[stepID] = func(ctx context.Context, deps map[string]any) (any, error) {
 			act := &Activity{StepID: stepID, Used: used}
+			var span *telemetry.ActiveSpan
+			if r.Metrics != nil {
+				span = r.Metrics.StartSpan(c, "workflow.step", stepID)
+			}
 			var lastErr error
 			var out any
 			for attempt := 1; attempt <= rp.attempts(); attempt++ {
-				start := time.Now()
+				start := c.Now()
 				v, err := body(ctx, deps)
-				rec := Attempt{Number: attempt, Elapsed: time.Since(start).Seconds()}
+				rec := Attempt{Number: attempt, Elapsed: c.Since(start).Seconds()}
 				if err != nil {
 					rec.Error = err.Error()
 				}
 				act.Attempts = append(act.Attempts, rec)
+				if r.Metrics != nil {
+					r.Metrics.Inc("workflow.attempts", 1)
+					r.Metrics.Observe("workflow.attempt_s", rec.Elapsed)
+				}
 				if err == nil {
 					act.Succeeded = true
 					out, lastErr = v, nil
@@ -133,11 +176,23 @@ func (r *Runner) RunWithProvenance(ctx context.Context, wf *Workflow, bodies map
 				if ctx.Err() != nil || !rp.retryable(err) {
 					break
 				}
+				if attempt < rp.attempts() {
+					if r.Metrics != nil {
+						r.Metrics.Inc("workflow.retries", 1)
+					}
+					c.Sleep(rp.backoff(attempt))
+				}
 			}
 			mu.Lock()
 			records[stepID] = act
 			mu.Unlock()
+			if span != nil {
+				span.End(lastErr)
+			}
 			if lastErr != nil {
+				if r.Metrics != nil {
+					r.Metrics.Inc("workflow.step_failures", 1)
+				}
 				return nil, lastErr
 			}
 			return out, nil

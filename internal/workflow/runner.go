@@ -5,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"repro/internal/clock"
+	"repro/internal/telemetry"
 )
 
 // StepFunc is the user-supplied body of a workflow step. It receives the
@@ -30,6 +33,15 @@ type Runner struct {
 	// succeeded even after some other step failed; failed steps still poison
 	// their dependents.
 	ContinueOnError bool
+	// Clock is the time source for provenance attempt timing and retry
+	// backoff (nil = clock.System). Inject a clock.Sim to make provenance
+	// output byte-identical across runs.
+	Clock clock.Clock
+	// Metrics, when non-nil, receives span-style trace records per step
+	// ("workflow.step"), the "workflow.attempt_s" duration series and the
+	// "workflow.attempts" / "workflow.retries" / "workflow.step_failures"
+	// counters from RunWithProvenance.
+	Metrics *telemetry.Registry
 }
 
 // ErrSkipped marks a step not executed because a dependency failed.
