@@ -3,12 +3,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test race audit clockgate bench bench-compare artifacts examples outputs clean
+.PHONY: all build vet test race audit clockgate bench bench-compare bench-cache artifacts examples outputs clean
 
 # audit (vet + race + clock gate) is part of all: the parallel substrate
 # (internal/par) and every hot path wired onto it must stay clean under the
 # race detector, and no simulator code may read the wall clock directly.
-all: build test audit
+# bench-cache records the cold-vs-warm content-addressed report build.
+all: build test audit bench-cache
 
 build:
 	$(GO) build ./...
@@ -25,10 +26,13 @@ race:
 # audit = static checks + race detector + the wall-clock gate (DESIGN.md §4).
 audit: vet race clockgate
 
-# Enforce the clock contract: time.Now/time.Since may appear in internal/
-# only inside internal/clock (the single wall-clock boundary) and in tests.
+# Enforce the clock contract: time.Now/time.Since/time.Sleep may appear in
+# internal/ only inside internal/clock (the single wall-clock boundary) and
+# in tests. The sweep covers every internal package, internal/cas included:
+# the store, memo layer and checkpoint journal must stamp entries through
+# the injected clock so journals are byte-identical under clock.Sim.
 clockgate:
-	@bad=$$(grep -rn --include='*.go' -E 'time\.(Now|Since)\(' internal/ \
+	@bad=$$(grep -rn --include='*.go' -E 'time\.(Now|Since|Sleep)\(' internal/ \
 		| grep -v '^internal/clock/' | grep -v '_test\.go:' || true); \
 	if [ -n "$$bad" ]; then \
 		echo "clock gate: wall-clock reads outside internal/clock:"; \
@@ -57,6 +61,25 @@ bench-compare:
 	  END { print "\n]" }' bench_par.txt > BENCH_par.json
 	@echo wrote BENCH_par.json
 
+# Benchmark the content-addressed report build, cold (fresh store: every
+# section renders) vs warm (primed store: zero step bodies execute), and
+# record BENCH_cas.json: [{name, ns_per_op, steps_per_op}, …].
+bench-cache:
+	$(GO) test -run '^$$' -bench 'ReportBuild(Cold|Warm)$$' ./internal/report | tee bench_cas.txt
+	awk 'BEGIN { print "[" } \
+	  /^BenchmarkReportBuild(Cold|Warm)(-[0-9]+)?[ \t]/ { \
+	    name=$$1; ns=""; steps=""; \
+	    for (i = 2; i < NF; i++) { \
+	      if ($$(i+1) == "ns/op") ns = $$i; \
+	      if ($$(i+1) == "steps/op") steps = $$i; \
+	    } \
+	    if (ns == "") next; \
+	    if (n++) printf ",\n"; \
+	    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"steps_per_op\": %s}", name, ns, steps; \
+	  } \
+	  END { print "\n]" }' bench_cas.txt > BENCH_cas.json
+	@echo wrote BENCH_cas.json
+
 # Regenerate every paper artifact (tables 1-2, figures 1-4, full report)
 # in every supported format under artifacts/.
 artifacts:
@@ -78,4 +101,4 @@ outputs:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 clean:
-	rm -rf artifacts/ test_output.txt bench_output.txt bench_par.txt BENCH_par.json
+	rm -rf artifacts/ test_output.txt bench_output.txt bench_par.txt BENCH_par.json bench_cas.txt BENCH_cas.json

@@ -192,3 +192,20 @@ func TestMetricsWriteAllWorkerInvariant(t *testing.T) {
 		t.Errorf("metrics differ between 1 and 8 workers:\n--- want\n%s--- got\n%s", out, got)
 	}
 }
+
+func TestCacheFlagByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	plain := runCapture(t)
+	cold := runCapture(t, "-cache", filepath.Join(dir, "store"))
+	if cold != plain {
+		t.Fatal("-cache cold build differs from uncached output")
+	}
+	warm := runCapture(t, "-cache", filepath.Join(dir, "store"))
+	if warm != plain {
+		t.Fatal("-cache warm rebuild differs from uncached output")
+	}
+	// The store directory must have been populated by the cold build.
+	if _, err := os.Stat(filepath.Join(dir, "store", "objects")); err != nil {
+		t.Fatalf("cache store not created: %v", err)
+	}
+}

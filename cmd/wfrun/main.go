@@ -3,23 +3,38 @@
 // policy, and reports the schedule: per-step placement and timing, makespan,
 // energy, cost, and data movement.
 //
+// With -store it instead *executes* the workflow through the
+// content-addressed artifact store (internal/cas): step results are
+// memoized on (workflow, step, body fingerprint, dep hashes), a checkpoint
+// journal records completed steps, and -resume replays only the steps that
+// had not completed after a fault.
+//
 // Usage:
 //
 //	wfrun -blueprint app.json                 # policy from the blueprint
 //	wfrun -blueprint app.json -policy heft    # override policy
 //	wfrun -blueprint app.json -compare        # run every built-in policy
 //	wfrun -demo                               # built-in demo blueprint
+//	wfrun -demo -store .wfcache               # memoized execution (cold)
+//	wfrun -demo -store .wfcache -cache-stats  # …again: every step hits
+//	wfrun -demo -store .wfcache -fail-step train   # inject a fault mid-run
+//	wfrun -demo -store .wfcache -resume       # replay only incomplete steps
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
+	"repro/internal/cas"
+	"repro/internal/clock"
 	"repro/internal/continuum"
 	"repro/internal/orchestrator"
 	"repro/internal/workflow"
@@ -48,14 +63,24 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("wfrun", flag.ContinueOnError)
 	var (
-		bpPath  = fs.String("blueprint", "", "path to a blueprint JSON file")
-		policy  = fs.String("policy", "", "override placement policy (random, round-robin, data-local, cost-aware, energy-aware, heft)")
-		compare = fs.Bool("compare", false, "simulate every built-in policy and rank by makespan")
-		demo    = fs.Bool("demo", false, "use the built-in demo blueprint")
-		seed    = fs.Int64("seed", 1, "seed for the random policy")
+		bpPath     = fs.String("blueprint", "", "path to a blueprint JSON file")
+		policy     = fs.String("policy", "", "override placement policy (random, round-robin, data-local, cost-aware, energy-aware, heft)")
+		compare    = fs.Bool("compare", false, "simulate every built-in policy and rank by makespan")
+		demo       = fs.Bool("demo", false, "use the built-in demo blueprint")
+		seed       = fs.Int64("seed", 1, "seed for the random policy and the simulated clock")
+		storeDir   = fs.String("store", "", "content-addressed artifact store directory: execute the workflow with step memoization and checkpointing (internal/cas)")
+		resume     = fs.Bool("resume", false, "resume from the store's checkpoint journal, replaying only steps that had not completed (requires -store)")
+		cacheStats = fs.Bool("cache-stats", false, "print cache hit/miss and store statistics after a -store execution")
+		failStep   = fs.String("fail-step", "", "inject a failure into this step during a -store execution (checkpoint/resume demo)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if (*resume || *cacheStats || *failStep != "") && *storeDir == "" {
+		return fmt.Errorf("-resume, -cache-stats and -fail-step require -store DIR")
+	}
+	if *storeDir != "" && *compare {
+		return fmt.Errorf("-store (execution) and -compare (simulation) are mutually exclusive")
 	}
 
 	var src io.Reader
@@ -109,6 +134,9 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *storeDir != "" {
+		return execute(out, wf, *storeDir, *resume, *cacheStats, *failStep, *seed)
+	}
 	pol, err := bp.Policy()
 	if err != nil {
 		return err
@@ -137,5 +165,127 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "\nmakespan %.2fs | energy %.0fJ (dynamic %.0f + idle %.0f) | cost %.4f€ | moved %.0fB | nodes %d\n",
 		sched.Makespan, sched.TotalEnergyJ(), sched.DynamicEnergyJ, sched.IdleEnergyJ,
 		sched.CostEUR, sched.BytesMoved, sched.NodesUsed)
+	return nil
+}
+
+// bodyFingerprint pins a step's synthetic body identity: any change to the
+// step's blueprint-derived parameters invalidates its cache entries.
+func bodyFingerprint(s *workflow.Step) string {
+	return fmt.Sprintf("wfrun/v1:%s:%g:%d:%g:%s", s.ID, s.WorkGFlop, s.Cores, s.OutputBytes, s.Tier)
+}
+
+// execute runs the compiled workflow through the content-addressed store:
+// synthetic deterministic step bodies (each step's artifact derives from
+// its parameters and its dependencies' artifacts), memoized on internal/cas
+// with a checkpoint journal in the store directory. Everything runs on a
+// clock.Sim seeded with seed — each executed step advances simulated time
+// by 1 ms per GFlop — so the output, the journal, and the store contents
+// are byte-identical across machines and runs.
+func execute(out io.Writer, wf *workflow.Workflow, storeDir string, resume, cacheStats bool, failStep string, seed int64) error {
+	store, err := cas.NewDiskStore(storeDir)
+	if err != nil {
+		return err
+	}
+	sim := clock.NewSim(seed)
+
+	// Resume set from the previous run's checkpoint journal.
+	journalPath := filepath.Join(storeDir, "journal.jsonl")
+	var completed map[string]cas.Key
+	if resume {
+		f, err := os.Open(journalPath)
+		if err != nil {
+			return fmt.Errorf("no checkpoint journal to resume from: %w", err)
+		}
+		entries, err := cas.ReadJournal(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		completed = cas.Completed(entries, wf.Name)
+	}
+
+	jf, err := os.OpenFile(journalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer jf.Close()
+	journal := cas.NewJournal(jf)
+
+	bodies := map[string]workflow.StepFunc{}
+	fingerprints := map[string]string{}
+	for _, s := range wf.Steps() {
+		s := s
+		fingerprints[s.ID] = bodyFingerprint(s)
+		bodies[s.ID] = func(_ context.Context, deps map[string]any) (any, error) {
+			if s.ID == failStep {
+				return nil, fmt.Errorf("injected failure at step %q", s.ID)
+			}
+			// Pay the modeled cost in simulated time: 1 ms per GFlop.
+			sim.Sleep(time.Duration(s.WorkGFlop * float64(time.Millisecond)))
+			enc, err := cas.Encode(deps)
+			if err != nil {
+				return nil, err
+			}
+			return fmt.Sprintf("artifact(%s gflop=%g out=%gB) inputs=%s",
+				s.ID, s.WorkGFlop, s.OutputBytes, cas.KeyOf(enc).Short()), nil
+		}
+	}
+
+	memo := &cas.Memo{
+		Store:   store,
+		Clock:   sim,
+		Journal: journal,
+		RunID:   "run",
+		Resume:  completed,
+	}
+	// MaxConcurrent 1 keeps the journal's line order (not just its
+	// canonical rendering) deterministic for a given blueprint.
+	runner := &workflow.Runner{MaxConcurrent: 1, Clock: sim}
+	res, runErr := memo.Run(context.Background(), runner, wf, bodies, fingerprints)
+	if jerr := journal.Err(); jerr != nil {
+		return jerr
+	}
+
+	mode := "memoized execution"
+	if resume {
+		mode = "resumed execution"
+	}
+	fmt.Fprintf(out, "Blueprint %s: %s (%d steps)\n\n", wf.Name, mode, wf.Len())
+	fmt.Fprintf(out, "%-12s %-8s %s\n", "step", "status", "artifact")
+	topo, err := wf.TopoOrder()
+	if err != nil {
+		return err
+	}
+	for _, id := range topo {
+		key := "-"
+		if k, ok := res.Keys[id]; ok {
+			key = k.Short()
+		}
+		fmt.Fprintf(out, "%-12s %-8s %s\n", id, res.Status[id], key)
+	}
+	fmt.Fprintf(out, "\nsimulated time %.3fs | executed %d | cached %d | restored %d | skipped %d\n",
+		clock.Seconds(sim.Now()), res.Stats.Executed, res.Stats.Hits, res.Stats.Restored,
+		res.Stats.Skipped+res.Stats.Failed)
+
+	if cacheStats {
+		objects, err := store.Keys()
+		if err != nil {
+			return err
+		}
+		links, err := store.Links()
+		if err != nil {
+			return err
+		}
+		bytes, err := store.Bytes()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "cache: hits=%d misses=%d bytes-written=%d bytes-reused=%d\n",
+			res.Stats.Hits+res.Stats.Restored, res.Stats.Misses, res.Stats.BytesWritten, res.Stats.BytesReused)
+		fmt.Fprintf(out, "store: %d objects (%d B), %d memo links\n", len(objects), bytes, len(links))
+	}
+	if runErr != nil {
+		return fmt.Errorf("execution failed (completed steps are checkpointed; re-run with -resume): %w", runErr)
+	}
 	return nil
 }

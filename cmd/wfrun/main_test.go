@@ -71,3 +71,81 @@ func TestMissingInput(t *testing.T) {
 		t.Error("missing file accepted")
 	}
 }
+
+// readGolden loads a testdata golden file.
+func readGolden(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestDemoGolden pins the full -demo schedule output byte for byte: the
+// simulation reads no wall clock, so the bytes are machine-independent.
+func TestDemoGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-demo"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sb.String(), readGolden(t, "demo.golden"); got != want {
+		t.Errorf("-demo output drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestExecGolden pins the end-to-end memoized execution lifecycle under
+// clock.Sim: cold build, warm rebuild (all hits, zero simulated seconds),
+// mid-run fault, and resume replaying only the incomplete steps.
+func TestExecGolden(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "store")
+	capture := func(wantErr bool, args ...string) string {
+		t.Helper()
+		var sb strings.Builder
+		err := run(args, &sb)
+		if wantErr && err == nil {
+			t.Fatalf("run(%v): expected error", args)
+		}
+		if !wantErr && err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+		return sb.String()
+	}
+
+	cold := capture(false, "-demo", "-store", store, "-cache-stats")
+	if want := readGolden(t, "exec_cold.golden"); cold != want {
+		t.Errorf("cold exec drifted:\n--- got ---\n%s--- want ---\n%s", cold, want)
+	}
+	warm := capture(false, "-demo", "-store", store, "-cache-stats")
+	if want := readGolden(t, "exec_warm.golden"); warm != want {
+		t.Errorf("warm exec drifted:\n--- got ---\n%s--- want ---\n%s", warm, want)
+	}
+
+	// Fresh store: fault at train, then resume.
+	store2 := filepath.Join(t.TempDir(), "store2")
+	fail := capture(true, "-demo", "-store", store2, "-fail-step", "train", "-cache-stats")
+	if want := readGolden(t, "exec_fail.golden"); fail != want {
+		t.Errorf("faulted exec drifted:\n--- got ---\n%s--- want ---\n%s", fail, want)
+	}
+	res := capture(false, "-demo", "-store", store2, "-resume", "-cache-stats")
+	if want := readGolden(t, "exec_resume.golden"); res != want {
+		t.Errorf("resumed exec drifted:\n--- got ---\n%s--- want ---\n%s", res, want)
+	}
+}
+
+// TestExecFlagValidation covers the flag dependency rules.
+func TestExecFlagValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-demo", "-resume"}, &sb); err == nil {
+		t.Error("-resume without -store accepted")
+	}
+	if err := run([]string{"-demo", "-cache-stats"}, &sb); err == nil {
+		t.Error("-cache-stats without -store accepted")
+	}
+	if err := run([]string{"-demo", "-store", t.TempDir(), "-compare"}, &sb); err == nil {
+		t.Error("-store with -compare accepted")
+	}
+	if err := run([]string{"-demo", "-store", t.TempDir(), "-resume"}, &sb); err == nil {
+		t.Error("-resume with no journal accepted")
+	}
+}

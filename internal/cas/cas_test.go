@@ -1,0 +1,503 @@
+package cas
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/telemetry"
+	"repro/internal/workflow"
+)
+
+// stores returns each backend under test, fresh.
+func stores(t *testing.T) map[string]Store {
+	t.Helper()
+	disk, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{"mem": NewMemStore(), "disk": disk}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	for name, st := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			data := []byte(`{"hello":"world"}`)
+			k, err := st.Put(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k != KeyOf(data) {
+				t.Fatalf("key %s != content hash %s", k, KeyOf(data))
+			}
+			got, ok, err := st.Get(k)
+			if err != nil || !ok {
+				t.Fatalf("get: ok=%v err=%v", ok, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("round trip: got %q", got)
+			}
+			// Dedup: same content again does not grow the store.
+			if _, err := st.Put(data); err != nil {
+				t.Fatal(err)
+			}
+			keys, err := st.Keys()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(keys) != 1 {
+				t.Fatalf("dedup failed: %d objects", len(keys))
+			}
+			n, err := st.Bytes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != int64(len(data)) {
+				t.Fatalf("bytes = %d, want %d", n, len(data))
+			}
+			if _, ok, _ := st.Get(KeyOf([]byte("absent"))); ok {
+				t.Fatal("found absent key")
+			}
+		})
+	}
+}
+
+func TestStoreLinks(t *testing.T) {
+	for name, st := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			a, _ := st.Put([]byte("a"))
+			b, _ := st.Put([]byte("b"))
+			link := KeyOf([]byte("the-name"))
+			if err := st.Link(link, a); err != nil {
+				t.Fatal(err)
+			}
+			got, ok, err := st.Resolve(link)
+			if err != nil || !ok || got != a {
+				t.Fatalf("resolve: %s ok=%v err=%v", got, ok, err)
+			}
+			// Last write wins.
+			if err := st.Link(link, b); err != nil {
+				t.Fatal(err)
+			}
+			if got, _, _ := st.Resolve(link); got != b {
+				t.Fatalf("overwrite: got %s want %s", got, b)
+			}
+			links, err := st.Links()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(links) != 1 || links[0] != link {
+				t.Fatalf("links = %v", links)
+			}
+			if _, ok, _ := st.Resolve(KeyOf([]byte("other"))); ok {
+				t.Fatal("resolved absent link")
+			}
+		})
+	}
+}
+
+func TestStoreDeterministicIteration(t *testing.T) {
+	for name, st := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < 20; i++ {
+				if _, err := st.Put([]byte(fmt.Sprintf("blob-%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			first, err := st.Keys()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 3; trial++ {
+				again, err := st.Keys()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(first, again) {
+					t.Fatal("iteration order changed between calls")
+				}
+			}
+			for i := 1; i < len(first); i++ {
+				if first[i-1] >= first[i] {
+					t.Fatalf("keys not sorted at %d", i)
+				}
+			}
+		})
+	}
+}
+
+func TestDiskStoreReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, _ := st.Put([]byte("persists"))
+	link := KeyOf([]byte("name"))
+	if err := st.Link(link, k); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := st2.Get(k); !ok {
+		t.Fatal("object lost across reopen")
+	}
+	if got, ok, _ := st2.Resolve(link); !ok || got != k {
+		t.Fatal("link lost across reopen")
+	}
+}
+
+func TestEncodeCanonical(t *testing.T) {
+	a := map[string]any{"z": 1.0, "a": "x", "m": []any{true, nil}}
+	b := map[string]any{"m": []any{true, nil}, "a": "x", "z": 1.0}
+	ea, err := Encode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := Encode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ea, eb) {
+		t.Fatalf("map key order leaked into encoding: %s vs %s", ea, eb)
+	}
+	v, err := Decode(ea)
+	if err != nil {
+		t.Fatal(err)
+	}
+	round, err := Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ea, round) {
+		t.Fatal("encode/decode/encode not stable")
+	}
+}
+
+// diamond builds the test workflow: a → {b, c} → d.
+func diamond() *workflow.Workflow {
+	wf := workflow.New("diamond")
+	wf.MustAdd(workflow.Step{ID: "a"})
+	wf.MustAdd(workflow.Step{ID: "b", After: []string{"a"}})
+	wf.MustAdd(workflow.Step{ID: "c", After: []string{"a"}})
+	wf.MustAdd(workflow.Step{ID: "d", After: []string{"b", "c"}})
+	return wf
+}
+
+// countingBodies returns bodies producing deterministic strings, plus the
+// shared execution counter.
+func countingBodies(executed *atomic.Int64) map[string]workflow.StepFunc {
+	mk := func(id string) workflow.StepFunc {
+		return func(_ context.Context, deps map[string]any) (any, error) {
+			executed.Add(1)
+			// Canonical encode keeps the output independent of map
+			// iteration order.
+			enc, _ := Encode(deps)
+			return fmt.Sprintf("out(%s)<-%s", id, enc), nil
+		}
+	}
+	return map[string]workflow.StepFunc{
+		"a": mk("a"), "b": mk("b"), "c": mk("c"), "d": mk("d"),
+	}
+}
+
+func TestMemoColdThenWarm(t *testing.T) {
+	for name, st := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			var executed atomic.Int64
+			wf := diamond()
+			bodies := countingBodies(&executed)
+			fp := UniformFingerprint(wf, "v1")
+			reg := telemetry.NewWithClock(clock.NewSim(1))
+			m := &Memo{Store: st, Clock: clock.NewSim(1), Metrics: reg}
+			r := &workflow.Runner{Clock: clock.NewSim(1)}
+
+			cold, err := m.Run(context.Background(), r, wf, bodies, fp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if executed.Load() != 4 || cold.Stats.Executed != 4 || cold.Stats.Hits != 0 {
+				t.Fatalf("cold: executed=%d stats=%+v", executed.Load(), cold.Stats)
+			}
+
+			warm, err := m.Run(context.Background(), r, wf, bodies, fp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if executed.Load() != 4 {
+				t.Fatalf("warm run executed %d bodies", executed.Load()-4)
+			}
+			if warm.Stats.Hits != 4 || warm.Stats.Executed != 0 {
+				t.Fatalf("warm stats: %+v", warm.Stats)
+			}
+			// Same values, same artifact keys.
+			for id := range bodies {
+				if !reflect.DeepEqual(cold.Results[id].Value, warm.Results[id].Value) {
+					t.Errorf("step %s: cold %v != warm %v", id, cold.Results[id].Value, warm.Results[id].Value)
+				}
+				if cold.Keys[id] != warm.Keys[id] {
+					t.Errorf("step %s: artifact key changed", id)
+				}
+			}
+			if reg.Counter("cas.hits") != 4 || reg.Counter("cas.misses") != 4 {
+				t.Errorf("telemetry: hits=%d misses=%d", reg.Counter("cas.hits"), reg.Counter("cas.misses"))
+			}
+			if reg.Counter("cas.bytes") != cold.Stats.BytesWritten {
+				t.Errorf("cas.bytes=%d want %d", reg.Counter("cas.bytes"), cold.Stats.BytesWritten)
+			}
+			if n := len(reg.Spans()); n == 0 {
+				t.Error("no store-operation spans recorded")
+			}
+		})
+	}
+}
+
+// TestStepKeyStability: identical workflow + inputs yield identical keys
+// across runs and worker counts; any dep-result change flips the key.
+func TestStepKeyStability(t *testing.T) {
+	keysFor := func(maxConcurrent int, fp string, mutate bool) map[string]Key {
+		st := NewMemStore()
+		var executed atomic.Int64
+		wf := diamond()
+		bodies := countingBodies(&executed)
+		if mutate {
+			bodies["a"] = func(context.Context, map[string]any) (any, error) {
+				return "a-changed", nil
+			}
+		}
+		m := &Memo{Store: st, Clock: clock.NewSim(1)}
+		r := &workflow.Runner{MaxConcurrent: maxConcurrent, Clock: clock.NewSim(1)}
+		out, err := m.Run(context.Background(), r, wf, bodies, UniformFingerprint(wf, fp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		links, err := st.Links()
+		if err != nil {
+			t.Fatal(err)
+		}
+		memo := map[string]Key{}
+		for id, k := range out.Keys {
+			memo[id] = k
+		}
+		// Also record the memo-key set: link names are the step keys.
+		memo["__links__"] = KeyOf([]byte(fmt.Sprint(links)))
+		return memo
+	}
+
+	base := keysFor(1, "v1", false)
+	for _, workers := range []int{1, 2, 8, 0} { // 0 = unbounded
+		again := keysFor(workers, "v1", false)
+		if !reflect.DeepEqual(base, again) {
+			t.Fatalf("keys differ at MaxConcurrent=%d:\n%v\nvs\n%v", workers, base, again)
+		}
+	}
+
+	// A changed dependency result must flip every downstream key.
+	changed := keysFor(1, "v1", true)
+	for _, id := range []string{"a", "b", "c", "d"} {
+		if changed[id] == base[id] {
+			t.Errorf("step %s: key unchanged after upstream result change", id)
+		}
+	}
+	if changed["__links__"] == base["__links__"] {
+		t.Error("memo link set unchanged after upstream result change")
+	}
+
+	// A changed body fingerprint must flip keys even with identical results.
+	refp := keysFor(1, "v2", false)
+	if refp["__links__"] == base["__links__"] {
+		t.Error("memo link set unchanged after fingerprint change")
+	}
+	// Artifact keys (content hashes) are identical — same outputs...
+	for _, id := range []string{"a", "b", "c", "d"} {
+		if refp[id] != base[id] {
+			t.Errorf("step %s: artifact key changed though content identical", id)
+		}
+	}
+}
+
+func TestStepKeyNoConcatenationCollision(t *testing.T) {
+	// Length prefixing: ("ab","c") must not collide with ("a","bc").
+	if StepKey("w", "ab", "c", nil) == StepKey("w", "a", "bc", nil) {
+		t.Fatal("field boundary collision")
+	}
+	a := StepKey("w", "s", "", map[string]Key{"x": "11", "y": "22"})
+	b := StepKey("w", "s", "", map[string]Key{"x": "1", "y": "122"})
+	if a == b {
+		t.Fatal("dep map collision")
+	}
+	// Dep order independence.
+	d1 := map[string]Key{"p": "aa", "q": "bb"}
+	d2 := map[string]Key{"q": "bb", "p": "aa"}
+	if StepKey("w", "s", "f", d1) != StepKey("w", "s", "f", d2) {
+		t.Fatal("dep iteration order leaked into key")
+	}
+}
+
+// chain builds the linear workflow a → b → c → d, whose completion order
+// is forced by the dependencies — deterministic even under concurrency.
+func chain() *workflow.Workflow {
+	wf := workflow.New("chain")
+	wf.MustAdd(workflow.Step{ID: "a"})
+	wf.MustAdd(workflow.Step{ID: "b", After: []string{"a"}})
+	wf.MustAdd(workflow.Step{ID: "c", After: []string{"b"}})
+	wf.MustAdd(workflow.Step{ID: "d", After: []string{"c"}})
+	return wf
+}
+
+// TestFaultResume is the acceptance-criterion test: a fault mid-run, then
+// a resumed run that re-executes only the steps that had not completed.
+func TestFaultResume(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf := chain()
+	var executed atomic.Int64
+	bodies := countingBodies(&executed)
+	boom := errors.New("injected fault")
+	realC := bodies["c"]
+	bodies["c"] = func(ctx context.Context, deps map[string]any) (any, error) {
+		return nil, boom // first run: c faults after a and b can complete
+	}
+
+	journalPath := filepath.Join(dir, "journal.jsonl")
+	jf, err := os.OpenFile(journalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := NewJournal(jf)
+	m := &Memo{Store: st, Clock: clock.NewSim(1), Journal: j, RunID: "r1"}
+	// The chain forces a and b to complete before c faults; d is poisoned.
+	r := &workflow.Runner{MaxConcurrent: 1, Clock: clock.NewSim(1)}
+	out, err := m.Run(context.Background(), r, wf, bodies, UniformFingerprint(wf, "v1"))
+	if err == nil {
+		t.Fatal("fault did not surface")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if out.Stats.Executed != 2 || out.Stats.Failed != 1 {
+		t.Fatalf("faulted run stats: %+v", out.Stats)
+	}
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	jf.Close()
+
+	// Second process: reload the journal, resume.
+	raw, err := os.ReadFile(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadJournal(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed := Completed(entries, wf.Name)
+	if len(completed) != 2 {
+		t.Fatalf("journal completed = %v, want a and b", completed)
+	}
+	for _, id := range []string{"a", "b"} {
+		if _, ok := completed[id]; !ok {
+			t.Fatalf("journal missing completed step %q", id)
+		}
+	}
+
+	bodies["c"] = realC // fault fixed
+	executed.Store(0)
+	st2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := &Memo{Store: st2, Clock: clock.NewSim(1), Resume: completed, RunID: "r2"}
+	out2, err := m2.Run(context.Background(), r, wf, bodies, UniformFingerprint(wf, "v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only c and d — the steps that had not completed — re-execute.
+	if got := executed.Load(); got != 2 {
+		t.Fatalf("resume executed %d bodies, want 2", got)
+	}
+	if out2.Status["a"] != StatusRestored || out2.Status["b"] != StatusRestored {
+		t.Fatalf("status: %v", out2.Status)
+	}
+	if out2.Status["c"] != StatusExecuted || out2.Status["d"] != StatusExecuted {
+		t.Fatalf("status: %v", out2.Status)
+	}
+	if out2.Stats.Restored != 2 || out2.Stats.Executed != 2 {
+		t.Fatalf("resume stats: %+v", out2.Stats)
+	}
+}
+
+func TestJournalDeterministicUnderSim(t *testing.T) {
+	render := func() string {
+		st := NewMemStore()
+		var executed atomic.Int64
+		wf := diamond()
+		j := NewJournal(nil)
+		m := &Memo{Store: st, Clock: clock.NewSim(7), Journal: j, RunID: "r"}
+		r := &workflow.Runner{Clock: clock.NewSim(7)} // concurrent runner
+		if _, err := m.Run(context.Background(), r, wf, countingBodies(&executed), nil); err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		// Canonical rendering is independent of completion interleaving,
+		// but Seq is not — mask it like a reader diffing runs would.
+		entries := j.Entries()
+		for i := range entries {
+			entries[i].Seq = 0
+		}
+		if err := WriteCanonical(&sb, entries); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	first := render()
+	for i := 0; i < 5; i++ {
+		if got := render(); got != first {
+			t.Fatalf("journal differs across runs:\n%s\nvs\n%s", first, got)
+		}
+	}
+	if !strings.Contains(first, `"at_s":0`) {
+		t.Fatalf("sim-clock timestamps expected at epoch, got:\n%s", first)
+	}
+}
+
+func TestReadJournalTornTail(t *testing.T) {
+	good := `{"seq":1,"run":"r","workflow":"w","step":"a","key":"` + string(KeyOf([]byte("x"))) + `","status":"exec","at_s":0}`
+	entries, err := ReadJournal(strings.NewReader(good + "\n" + `{"seq":2,"run":"r","wor`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Step != "a" {
+		t.Fatalf("entries = %+v", entries)
+	}
+	// A torn interior line is a real error.
+	if _, err := ReadJournal(strings.NewReader(`{"bad` + "\n" + good + "\n")); err == nil {
+		t.Fatal("interior corruption accepted")
+	}
+}
+
+func TestMemoMissingBody(t *testing.T) {
+	wf := diamond()
+	m := &Memo{Store: NewMemStore()}
+	if _, err := m.Run(context.Background(), &workflow.Runner{}, wf, nil, nil); err == nil {
+		t.Fatal("missing bodies accepted")
+	}
+	m2 := &Memo{}
+	if _, err := m2.Run(context.Background(), &workflow.Runner{}, wf, nil, nil); !errors.Is(err, ErrNoStore) {
+		t.Fatalf("want ErrNoStore, got %v", err)
+	}
+}

@@ -1,0 +1,160 @@
+package cas
+
+// The checkpoint journal is the crash-recovery half of the subsystem: an
+// append-only record of completed steps, one JSON line each, flushed to
+// the underlying writer as soon as the step finishes. After a mid-run
+// fault the journal names exactly the steps whose artifacts are safe in
+// the store; feeding it back through Completed → Memo.Resume makes the
+// second run replay only the steps that had not completed.
+//
+// Timestamps are read from the Memo's injected clock (clock.Seconds), so a
+// run on clock.Sim writes a byte-identical journal on every execution —
+// with a sequential runner the line order is deterministic too, and
+// Canonical restores a deterministic order for concurrent runs.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Entry is one journal line: a step that completed (executed, hit, or
+// restored) with the artifact key its result lives under.
+type Entry struct {
+	// Seq is the 1-based append order within this journal instance.
+	Seq      int        `json:"seq"`
+	Run      string     `json:"run"`
+	Workflow string     `json:"workflow"`
+	Step     string     `json:"step"`
+	Key      Key        `json:"key"`
+	Status   StepStatus `json:"status"`
+	// AtS is the completion time in seconds since clock.Epoch.
+	AtS float64 `json:"at_s"`
+}
+
+// Journal collects checkpoint entries and (when constructed with a writer)
+// streams each one as a JSON line immediately on append — a crashed run
+// leaves every completed step on record.
+type Journal struct {
+	mu      sync.Mutex
+	w       io.Writer
+	entries []Entry
+	err     error // first write error, surfaced by Err
+}
+
+// NewJournal returns a journal streaming entries to w (nil = in-memory
+// only).
+func NewJournal(w io.Writer) *Journal { return &Journal{w: w} }
+
+// Append records an entry, assigning its sequence number.
+func (j *Journal) Append(e Entry) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e.Seq = len(j.entries) + 1
+	j.entries = append(j.entries, e)
+	if j.w == nil {
+		return
+	}
+	data, err := json.Marshal(e)
+	if err == nil {
+		data = append(data, '\n')
+		_, err = j.w.Write(data)
+	}
+	if err != nil && j.err == nil {
+		j.err = err
+	}
+}
+
+// Err returns the first write error encountered by Append (nil if none).
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Entries returns a copy of the recorded entries in append order.
+func (j *Journal) Entries() []Entry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Entry(nil), j.entries...)
+}
+
+// Canonical sorts entries into the deterministic order (Workflow, Step,
+// Seq) — independent of the completion interleaving of a concurrent run.
+func Canonical(entries []Entry) []Entry {
+	out := append([]Entry(nil), entries...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Workflow != b.Workflow {
+			return a.Workflow < b.Workflow
+		}
+		if a.Step != b.Step {
+			return a.Step < b.Step
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}
+
+// WriteCanonical renders entries in canonical order as JSON lines — the
+// byte-stable journal artifact for goldens and diffs.
+func WriteCanonical(w io.Writer, entries []Entry) error {
+	for _, e := range Canonical(entries) {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if _, err := w.Write(data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJournal parses a JSON-lines journal. A malformed *final* line (a
+// crash mid-write tore it) is ignored; a malformed interior line is an
+// error.
+func ReadJournal(r io.Reader) ([]Entry, error) {
+	var lines [][]byte
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) > 0 {
+			lines = append(lines, append([]byte(nil), raw...))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cas: reading journal: %w", err)
+	}
+	var out []Entry
+	for i, raw := range lines {
+		var e Entry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			if i == len(lines)-1 {
+				return out, nil // torn tail from a crash: drop it
+			}
+			return nil, fmt.Errorf("cas: journal line %d: %w", i+1, err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Completed extracts the resume map for a workflow from journal entries:
+// step ID → artifact key of its completed result (last entry wins). Feed
+// the result to Memo.Resume to replay only incomplete steps.
+func Completed(entries []Entry, workflowName string) map[string]Key {
+	out := map[string]Key{}
+	for _, e := range entries {
+		if e.Workflow == workflowName && e.Key.Valid() {
+			out[e.Step] = e.Key
+		}
+	}
+	return out
+}

@@ -1,0 +1,350 @@
+// Package cas is the repository's persistence layer: a content-addressed
+// artifact store with a memoization layer over the workflow engine and a
+// checkpoint journal enabling resume after mid-run faults.
+//
+// The design follows the provenance-based-reuse literature the paper's
+// orchestration direction points at: Missier et al. key step reuse on
+// hashes of step inputs, and Diercks et al. rate re-execution avoidance as
+// a first-class capability of reproducible workflow tools. Three pieces:
+//
+//   - Store (this file): SHA-256-keyed blob storage with an in-memory and
+//     an on-disk backend behind one interface, plus a link table mapping
+//     derived keys (memo keys) to artifact keys. Iteration order is
+//     deterministic (sorted keys) so store dumps are stable artifacts.
+//   - Memo (memo.go): caches workflow step results under a key derived
+//     from (workflow name, step ID, body fingerprint, dep-result hashes);
+//     cache hits skip step bodies entirely.
+//   - Journal (checkpoint.go): an append-only record of completed steps,
+//     stamped on the injected clock, from which a second run resumes —
+//     re-executing only the steps that had not completed.
+package cas
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Key is the hex form of a SHA-256 digest. Artifact keys are digests of
+// the stored bytes (content addressing); memo keys are digests of the
+// step-input recipe (see StepKey).
+type Key string
+
+// KeyOf returns the content key of data: SHA-256, hex-encoded.
+func KeyOf(data []byte) Key {
+	sum := sha256.Sum256(data)
+	return Key(hex.EncodeToString(sum[:]))
+}
+
+// Valid reports whether k looks like a SHA-256 hex digest.
+func (k Key) Valid() bool {
+	if len(k) != 64 {
+		return false
+	}
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Short returns the conventional 12-character abbreviation of the key.
+func (k Key) Short() string {
+	if len(k) < 12 {
+		return string(k)
+	}
+	return string(k[:12])
+}
+
+// Store is the persistence interface: content-addressed blobs plus a link
+// table from derived keys (memo keys) to artifact keys. Implementations
+// must be safe for concurrent use and must iterate in sorted key order.
+type Store interface {
+	// Put stores data and returns its content key. Storing the same bytes
+	// twice is a no-op returning the same key (deduplication).
+	Put(data []byte) (Key, error)
+	// Get returns the blob for an artifact key (ok=false when absent).
+	Get(k Key) ([]byte, bool, error)
+	// Link records name → target in the link table, overwriting any
+	// previous target (last write wins).
+	Link(name, target Key) error
+	// Resolve looks up a link (ok=false when absent).
+	Resolve(name Key) (Key, bool, error)
+	// Keys returns every artifact key in sorted order.
+	Keys() ([]Key, error)
+	// Links returns every link name in sorted order.
+	Links() ([]Key, error)
+	// Bytes returns the total size of all stored blobs.
+	Bytes() (int64, error)
+}
+
+// Encode canonically serializes a step value for storage: compact JSON,
+// which the Go encoder emits with lexicographically sorted map keys — the
+// same value always yields the same bytes, and hence the same content key.
+// Values cached through the memo layer must round-trip through JSON
+// (strings, numbers, bools, slices, and string-keyed maps/structs).
+func Encode(v any) ([]byte, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("cas: encoding value: %w", err)
+	}
+	return data, nil
+}
+
+// Decode parses bytes produced by Encode back into their generic JSON
+// form (string, float64, bool, []any, map[string]any, nil).
+func Decode(data []byte) (any, error) {
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, fmt.Errorf("cas: decoding value: %w", err)
+	}
+	return v, nil
+}
+
+// MemStore is the in-memory Store backend. The zero value is not usable;
+// call NewMemStore.
+type MemStore struct {
+	mu      sync.RWMutex
+	objects map[Key][]byte
+	links   map[Key]Key
+	bytes   int64
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{objects: map[Key][]byte{}, links: map[Key]Key{}}
+}
+
+// Put implements Store.
+func (m *MemStore) Put(data []byte) (Key, error) {
+	k := KeyOf(data)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.objects[k]; !ok {
+		m.objects[k] = append([]byte(nil), data...)
+		m.bytes += int64(len(data))
+	}
+	return k, nil
+}
+
+// Get implements Store.
+func (m *MemStore) Get(k Key) ([]byte, bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.objects[k]
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), data...), true, nil
+}
+
+// Link implements Store.
+func (m *MemStore) Link(name, target Key) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.links[name] = target
+	return nil
+}
+
+// Resolve implements Store.
+func (m *MemStore) Resolve(name Key) (Key, bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	t, ok := m.links[name]
+	return t, ok, nil
+}
+
+// Keys implements Store.
+func (m *MemStore) Keys() ([]Key, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return sortedKeys(m.objects), nil
+}
+
+// Links implements Store.
+func (m *MemStore) Links() ([]Key, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return sortedKeys(m.links), nil
+}
+
+// Bytes implements Store.
+func (m *MemStore) Bytes() (int64, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.bytes, nil
+}
+
+func sortedKeys[V any](m map[Key]V) []Key {
+	out := make([]Key, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DiskStore is the on-disk Store backend. Layout under the base directory:
+//
+//	objects/<first 2 hex>/<remaining 62 hex>   blob bytes
+//	links/<first 2 hex>/<remaining 62 hex>     target key (64 hex bytes)
+//
+// Writes go through a temp file + rename in the same directory, so a
+// crashed writer never leaves a truncated object behind, and concurrent
+// writers of the same content converge on identical bytes.
+type DiskStore struct {
+	base string
+	mu   sync.Mutex // serializes link overwrites; object writes are idempotent
+}
+
+// NewDiskStore opens (creating if needed) a disk store rooted at dir.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	for _, sub := range []string{"objects", "links"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("cas: creating store dir: %w", err)
+		}
+	}
+	return &DiskStore{base: dir}, nil
+}
+
+// Dir returns the store's base directory.
+func (d *DiskStore) Dir() string { return d.base }
+
+func (d *DiskStore) path(kind string, k Key) string {
+	return filepath.Join(d.base, kind, string(k[:2]), string(k[2:]))
+}
+
+// writeAtomic writes data to path via temp file + rename.
+func (d *DiskStore) writeAtomic(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Put implements Store.
+func (d *DiskStore) Put(data []byte) (Key, error) {
+	k := KeyOf(data)
+	path := d.path("objects", k)
+	if _, err := os.Stat(path); err == nil {
+		return k, nil // dedup: content already present
+	}
+	if err := d.writeAtomic(path, data); err != nil {
+		return "", fmt.Errorf("cas: writing object %s: %w", k.Short(), err)
+	}
+	return k, nil
+}
+
+// Get implements Store.
+func (d *DiskStore) Get(k Key) ([]byte, bool, error) {
+	if !k.Valid() {
+		return nil, false, fmt.Errorf("cas: malformed key %q", k)
+	}
+	data, err := os.ReadFile(d.path("objects", k))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("cas: reading object %s: %w", k.Short(), err)
+	}
+	return data, true, nil
+}
+
+// Link implements Store.
+func (d *DiskStore) Link(name, target Key) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.writeAtomic(d.path("links", name), []byte(target)); err != nil {
+		return fmt.Errorf("cas: writing link %s: %w", name.Short(), err)
+	}
+	return nil
+}
+
+// Resolve implements Store.
+func (d *DiskStore) Resolve(name Key) (Key, bool, error) {
+	if !name.Valid() {
+		return "", false, fmt.Errorf("cas: malformed key %q", name)
+	}
+	data, err := os.ReadFile(d.path("links", name))
+	if os.IsNotExist(err) {
+		return "", false, nil
+	}
+	if err != nil {
+		return "", false, fmt.Errorf("cas: reading link %s: %w", name.Short(), err)
+	}
+	k := Key(data)
+	if !k.Valid() {
+		return "", false, fmt.Errorf("cas: link %s holds malformed target %q", name.Short(), data)
+	}
+	return k, true, nil
+}
+
+// scan walks one kind directory and returns the keys, sorted.
+func (d *DiskStore) scan(kind string) ([]Key, error) {
+	root := filepath.Join(d.base, kind)
+	prefixes, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	var out []Key
+	for _, p := range prefixes {
+		if !p.IsDir() || len(p.Name()) != 2 {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(root, p.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range files {
+			k := Key(p.Name() + f.Name())
+			if k.Valid() {
+				out = append(out, k)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Keys implements Store.
+func (d *DiskStore) Keys() ([]Key, error) { return d.scan("objects") }
+
+// Links implements Store.
+func (d *DiskStore) Links() ([]Key, error) { return d.scan("links") }
+
+// Bytes implements Store.
+func (d *DiskStore) Bytes() (int64, error) {
+	keys, err := d.scan("objects")
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, k := range keys {
+		fi, err := os.Stat(d.path("objects", k))
+		if err != nil {
+			return 0, err
+		}
+		total += fi.Size()
+	}
+	return total, nil
+}

@@ -1,0 +1,188 @@
+package orchestrator
+
+// Checkpoint/resume accounting for the schedule simulator: the what-if the
+// cas subsystem answers operationally ("after a mid-run fault, how much
+// work does content-addressed checkpointing save?"), answered here in
+// simulation so fault sweeps can quantify it across failure probabilities.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/continuum"
+	"repro/internal/par"
+	"repro/internal/workflow"
+)
+
+// ResumeStats quantifies the work a checkpoint/resume layer saves after an
+// unrecoverable mid-run fault (a step exhausting its retries).
+type ResumeStats struct {
+	// FatalStep exhausted its retry budget and aborted the run.
+	FatalStep string
+	// Failures counts the failed attempts drawn before the abort.
+	Failures int
+	// CompletedSteps finished (and were checkpointed) before the abort;
+	// TotalSteps is the workflow size.
+	CompletedSteps int
+	TotalSteps     int
+	// FirstMakespan is the simulated time lost to the aborted run.
+	FirstMakespan float64
+	// ResumeMakespan re-runs only the incomplete steps (checkpointed
+	// results are restored with zero recompute; their artifacts still
+	// move over the network).
+	ResumeMakespan float64
+	// ScratchMakespan re-runs every step from scratch — the no-checkpoint
+	// baseline for the second run.
+	ScratchMakespan float64
+	// SavedGFlop is the checkpointed work the resume run skips; SavedS is
+	// ScratchMakespan - ResumeMakespan.
+	SavedGFlop float64
+	SavedS     float64
+}
+
+// SimulateWithResume runs the fault model like SimulateWithFaults, but
+// instead of treating retry exhaustion as a terminal error it simulates the
+// recovery: the aborted first run (steps completed before the abort are
+// checkpointed), a resume run replaying only the incomplete steps, and the
+// re-run-everything baseline. It returns nil stats when no step exhausts
+// its retries (the run succeeds; there is nothing to resume).
+func SimulateWithResume(wf *workflow.Workflow, inf *continuum.Infrastructure, p Placement, policyName string, fm FaultModel) (*ResumeStats, error) {
+	if err := fm.Validate(); err != nil {
+		return nil, err
+	}
+	rng := fm.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	// Draw attempts in insertion order (the SweepFaults convention). The
+	// first step to exhaust MaxRetries is the fatal one; its failed
+	// attempts still consume their full execution time.
+	attempts := map[string]int{}
+	fatal := ""
+	for _, s := range wf.Steps() {
+		a := 1
+		for fm.FailureProb > 0 && rng.Float64() < fm.FailureProb {
+			a++
+			if a > fm.MaxRetries+1 {
+				break
+			}
+		}
+		if a > fm.MaxRetries+1 {
+			// Every granted attempt ran and failed; the first such step is
+			// the fatal one (insertion order, the SweepFaults convention).
+			a = fm.MaxRetries + 1
+			if fatal == "" {
+				fatal = s.ID
+			}
+		}
+		attempts[s.ID] = a
+	}
+	if fatal == "" {
+		return nil, nil
+	}
+
+	// First (aborted) run: inflate work by attempt counts and read the
+	// timeline. The fatal step's finish time is the abort instant.
+	inflated := workflow.New(wf.Name)
+	for _, s := range wf.Steps() {
+		cp := *s
+		cp.WorkGFlop *= float64(attempts[s.ID])
+		if err := inflated.Add(cp); err != nil {
+			return nil, err
+		}
+	}
+	first, err := Simulate(inflated, inf, p, policyName)
+	if err != nil {
+		return nil, fmt.Errorf("orchestrator: aborted-run simulation: %w", err)
+	}
+	abortAt := first.Steps[fatal].Finish
+
+	stats := &ResumeStats{
+		FatalStep:     fatal,
+		TotalSteps:    wf.Len(),
+		FirstMakespan: abortAt,
+	}
+	completed := map[string]bool{}
+	for _, s := range wf.Steps() {
+		if s.ID == fatal {
+			continue
+		}
+		if tr, ok := first.Steps[s.ID]; ok && tr.Finish <= abortAt {
+			completed[s.ID] = true
+			stats.CompletedSteps++
+			stats.SavedGFlop += s.WorkGFlop
+		}
+	}
+	// Failed attempts drawn for steps that never started do not count:
+	// only steps that began before the abort paid for their retries.
+	for _, s := range wf.Steps() {
+		if tr, ok := first.Steps[s.ID]; ok && tr.Start < abortAt {
+			stats.Failures += attempts[s.ID] - 1
+		}
+	}
+
+	// Resume run: checkpointed steps restore with zero recompute (their
+	// output artifacts still feed dependents); incomplete steps — the
+	// fault fixed — run once.
+	resumeWf := workflow.New(wf.Name)
+	for _, s := range wf.Steps() {
+		cp := *s
+		if completed[s.ID] {
+			cp.WorkGFlop = 0
+		}
+		if err := resumeWf.Add(cp); err != nil {
+			return nil, err
+		}
+	}
+	resumed, err := Simulate(resumeWf, inf, p, policyName)
+	if err != nil {
+		return nil, fmt.Errorf("orchestrator: resume simulation: %w", err)
+	}
+	stats.ResumeMakespan = resumed.Makespan
+
+	// Scratch baseline: everything re-executes once.
+	scratch, err := Simulate(wf, inf, p, policyName)
+	if err != nil {
+		return nil, fmt.Errorf("orchestrator: scratch simulation: %w", err)
+	}
+	stats.ScratchMakespan = scratch.Makespan
+	stats.SavedS = stats.ScratchMakespan - stats.ResumeMakespan
+	return stats, nil
+}
+
+// ResumePoint is one candidate of a resume sweep. Stats is nil when the
+// run at that failure probability completed without exhausting retries.
+type ResumePoint struct {
+	FailureProb float64
+	Stats       *ResumeStats
+}
+
+// SweepFaultsResume runs SimulateWithResume across failure probabilities
+// on the par worker pool — candidate i draws from par.SplitSeed(seed, i),
+// so the sweep is reproducible for any worker count, mirroring SweepFaults.
+func SweepFaultsResume(mkWf func() *workflow.Workflow, mkInf func() *continuum.Infrastructure,
+	pol Policy, probs []float64, maxRetries int, seed int64, opts ...par.Option) ([]ResumePoint, error) {
+
+	return par.MapReduceN(len(probs), func(_, lo, hi int) ([]ResumePoint, error) {
+		pts := make([]ResumePoint, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			wf := mkWf()
+			inf := mkInf()
+			placement, err := pol.Place(wf, inf)
+			if err != nil {
+				return nil, fmt.Errorf("orchestrator: policy %s: %w", pol.Name(), err)
+			}
+			fm := FaultModel{
+				FailureProb: probs[i],
+				MaxRetries:  maxRetries,
+				Rng:         rand.New(rand.NewSource(par.SplitSeed(seed, i))),
+			}
+			rs, err := SimulateWithResume(wf, inf, placement, pol.Name(), fm)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, ResumePoint{FailureProb: probs[i], Stats: rs})
+		}
+		return pts, nil
+	}, func(a, b []ResumePoint) []ResumePoint { return append(a, b...) }, opts...)
+}

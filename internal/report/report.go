@@ -193,13 +193,11 @@ func FigE1(s *core.Study) *charts.BarChart {
 	return c
 }
 
-// Full renders the complete study report: protocol, all tables and figures
-// in ASCII form, and the synthesized answers to Q1–Q3. The sections are
-// independent pure reads of the study, so they render concurrently on the
-// par worker pool and are concatenated in the fixed section order — the
-// output is byte-identical for any par.Workers(n).
-func Full(s *core.Study, opts ...par.Option) (string, error) {
-	sections := []func() (string, error){
+// sections returns the report's render closures in the fixed section
+// order. Each is an independent pure read of the study — the unit of
+// parallelism for Full and the unit of caching for FullCached.
+func sections(s *core.Study) []func() (string, error) {
+	return []func() (string, error){
 		func() (string, error) {
 			var b strings.Builder
 			b.WriteString("A Systematic Mapping Study of Italian Research on Workflows — reproduction report\n")
@@ -280,12 +278,21 @@ func Full(s *core.Study, opts ...par.Option) (string, error) {
 			return b.String(), nil
 		},
 	}
+}
+
+// Full renders the complete study report: protocol, all tables and figures
+// in ASCII form, and the synthesized answers to Q1–Q3. The sections are
+// independent pure reads of the study, so they render concurrently on the
+// par worker pool and are concatenated in the fixed section order — the
+// output is byte-identical for any par.Workers(n).
+func Full(s *core.Study, opts ...par.Option) (string, error) {
+	secs := sections(s)
 	// One shard per section: each renders independently, and the string
 	// concatenation merge preserves the fixed section order.
-	return par.MapReduceN(len(sections), func(_, lo, hi int) (string, error) {
+	return par.MapReduceN(len(secs), func(_, lo, hi int) (string, error) {
 		var b strings.Builder
 		for i := lo; i < hi; i++ {
-			sec, err := sections[i]()
+			sec, err := secs[i]()
 			if err != nil {
 				return "", err
 			}

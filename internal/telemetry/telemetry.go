@@ -10,6 +10,12 @@
 // default), so a registry wired to a clock.Sim or a continuum engine clock
 // produces byte-identical output across runs — the reproducibility contract
 // of DESIGN.md §4.
+//
+// Well-known instrument names: the workflow runner emits workflow.* counters
+// and step spans; the content-addressed store layer (internal/cas) emits
+// cas.hits / cas.misses / cas.bytes counters plus cas.get / cas.put spans
+// per store operation, so cache behaviour lands in the same canonical
+// expositions as everything else.
 package telemetry
 
 import (

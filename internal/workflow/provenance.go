@@ -19,6 +19,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
@@ -215,20 +216,17 @@ func (r *Runner) RunWithProvenance(ctx context.Context, wf *Workflow, bodies map
 
 // FlakyBody wraps a body so that it fails the first n calls with errFail —
 // the failure-injection helper used by fault-tolerance tests and benches.
+// The countdown is a single atomic, so the wrapper is safe for bodies the
+// Runner executes concurrently: exactly n calls fail, no matter how they
+// interleave.
 func FlakyBody(body StepFunc, n int, errFail error) StepFunc {
 	if errFail == nil {
 		errFail = errors.New("workflow: injected failure")
 	}
-	var mu sync.Mutex
-	remaining := n
+	var remaining atomic.Int64
+	remaining.Store(int64(n))
 	return func(ctx context.Context, deps map[string]any) (any, error) {
-		mu.Lock()
-		fail := remaining > 0
-		if fail {
-			remaining--
-		}
-		mu.Unlock()
-		if fail {
+		if remaining.Add(-1) >= 0 {
 			return nil, errFail
 		}
 		return body(ctx, deps)

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -148,5 +150,34 @@ func TestRetryPolicyDefaults(t *testing.T) {
 	}
 	if !(RetryPolicy{}).retryable(errors.New("x")) {
 		t.Error("nil filter should retry everything")
+	}
+}
+
+// FlakyBody's countdown must be safe when the wrapped body runs from many
+// goroutines at once (the Runner executes independent steps concurrently):
+// exactly n calls fail, no matter how the callers interleave. Run under
+// -race (make audit) this also proves the counter is data-race free.
+func TestFlakyBodyConcurrent(t *testing.T) {
+	const n, callers = 40, 100
+	body := FlakyBody(constBody(1), n, errors.New("injected"))
+	var failed, succeeded atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := body(context.Background(), nil); err != nil {
+				failed.Add(1)
+			} else {
+				succeeded.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() != n {
+		t.Errorf("%d calls failed, want exactly %d", failed.Load(), n)
+	}
+	if succeeded.Load() != callers-n {
+		t.Errorf("%d calls succeeded, want %d", succeeded.Load(), callers-n)
 	}
 }
