@@ -3,13 +3,15 @@
 
 GO ?= go
 
-.PHONY: all build vet test race audit clockgate bench bench-compare bench-cache artifacts examples outputs clean
+.PHONY: all build vet test race audit clockgate bench bench-compare bench-kernels bench-gate bench-cache artifacts examples outputs clean
 
 # audit (vet + race + clock gate) is part of all: the parallel substrate
 # (internal/par) and every hot path wired onto it must stay clean under the
 # race detector, and no simulator code may read the wall clock directly.
-# bench-cache records the cold-vs-warm content-addressed report build.
-all: build test audit bench-cache
+# bench-cache records the cold-vs-warm content-addressed report build;
+# bench-gate re-measures the kernel benchmarks and fails the build if any
+# regresses >10% ns/op against the committed BENCH_kernels.json baseline.
+all: build test audit bench-cache bench-gate
 
 build:
 	$(GO) build ./...
@@ -43,23 +45,47 @@ clockgate:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Run the sequential-vs-parallel benchmark pairs (…Seq / …Par) and record
-# them as BENCH_par.json: [{name, ns_per_op, allocs_per_op}, …].
-bench-compare:
-	$(GO) test -run '^$$' -bench '(Seq|Par)$$' -benchmem ./... | tee bench_par.txt
-	awk 'BEGIN { print "[" } \
-	  /^Benchmark.*(Seq|Par)(-[0-9]+)?[ \t]/ { \
+# Convert `go test -bench -benchmem` output into the benchmark record
+# format cmd/benchdiff consumes: [{name, ns_per_op, allocs_per_op}, …].
+BENCH_TO_JSON = awk 'BEGIN { print "[" } \
+	  /^Benchmark/ { \
 	    name=$$1; ns=""; allocs=""; \
 	    for (i = 2; i < NF; i++) { \
 	      if ($$(i+1) == "ns/op") ns = $$i; \
 	      if ($$(i+1) == "allocs/op") allocs = $$i; \
 	    } \
 	    if (ns == "") next; \
+	    if (allocs == "") allocs = 0; \
 	    if (n++) printf ",\n"; \
 	    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs; \
 	  } \
-	  END { print "\n]" }' bench_par.txt > BENCH_par.json
+	  END { print "\n]" }'
+
+# The Monte-Carlo / clustering kernel benchmarks gated by bench-gate.
+KERNEL_BENCH_RE = (KMeans(Seq|Par)|FindHotspots|BootstrapQ3(Seq|Par))$$
+KERNEL_BENCH_PKGS = ./internal/bigdata ./internal/core
+
+# Run the sequential-vs-parallel benchmark pairs (…Seq / …Par) and record
+# them as BENCH_par.json: [{name, ns_per_op, allocs_per_op}, …].
+bench-compare:
+	$(GO) test -run '^$$' -bench '(Seq|Par)$$' -benchmem ./... | tee bench_par.txt
+	$(BENCH_TO_JSON) bench_par.txt > BENCH_par.json
 	@echo wrote BENCH_par.json
+
+# Refresh the committed kernel-benchmark baseline (BENCH_kernels.json).
+bench-kernels:
+	$(GO) test -run '^$$' -bench '$(KERNEL_BENCH_RE)' -benchmem -count 5 $(KERNEL_BENCH_PKGS) | tee bench_kernels.txt
+	$(BENCH_TO_JSON) bench_kernels.txt > BENCH_kernels.json
+	@echo wrote BENCH_kernels.json
+
+# Re-measure the kernel benchmarks and diff against the committed baseline:
+# any >10% ns/op (or allocs/op) regression fails the build. Refresh the
+# baseline with `make bench-kernels` after an intentional kernel change.
+bench-gate:
+	$(GO) test -run '^$$' -bench '$(KERNEL_BENCH_RE)' -benchmem -count 5 $(KERNEL_BENCH_PKGS) | tee bench_gate.txt
+	$(BENCH_TO_JSON) bench_gate.txt > bench_gate_head.json
+	$(GO) run ./cmd/benchdiff -threshold 0.10 BENCH_kernels.json bench_gate_head.json
+	@rm -f bench_gate.txt bench_gate_head.json
 
 # Benchmark the content-addressed report build, cold (fresh store: every
 # section renders) vs warm (primed store: zero step bodies execute), and
@@ -101,4 +127,6 @@ outputs:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 clean:
-	rm -rf artifacts/ test_output.txt bench_output.txt bench_par.txt BENCH_par.json bench_cas.txt BENCH_cas.json
+	rm -rf artifacts/ test_output.txt bench_output.txt bench_par.txt BENCH_par.json \
+		bench_kernels.txt BENCH_kernels.json bench_cas.txt BENCH_cas.json \
+		bench_gate.txt bench_gate_head.json

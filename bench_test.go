@@ -25,6 +25,7 @@ import (
 	"repro/internal/orchestrator"
 	"repro/internal/ppc"
 	"repro/internal/report"
+	"repro/internal/rng"
 	"repro/internal/stream"
 	"repro/internal/workflow"
 )
@@ -290,7 +291,7 @@ func BenchmarkAblationFaaS(b *testing.B) {
 		{Name: "detect", WorkGFlop: 0.2, Class: faas.LowLatency, DeadlineS: 0.8, StateBytes: 1e6},
 		{Name: "train", WorkGFlop: 50, Class: faas.Batch, DeadlineS: 10, StateBytes: 50e6},
 	}
-	trace := faas.PoissonTrace(fns, 20, 30, rand.New(rand.NewSource(4)))
+	trace := faas.PoissonTrace(fns, 20, 30, rng.New(4))
 	for _, sched := range []faas.Scheduler{faas.EdgeFirst{}, faas.CloudOnly{}, faas.EnergyAware{}} {
 		sched := sched
 		b.Run(sched.Name(), func(b *testing.B) {

@@ -1,0 +1,163 @@
+// Command benchdiff compares two benchmark records produced by the
+// Makefile's bench targets (BENCH_par.json, BENCH_kernels.json: arrays of
+// {"name", "ns_per_op", "allocs_per_op"}) and exits non-zero when the
+// current run regresses past the threshold — the bench-regression gate
+// behind `make bench-gate`.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.10] baseline.json current.json
+//
+// A benchmark regresses when current ns/op exceeds baseline ns/op by more
+// than the threshold fraction, or allocs/op does the same with one alloc of
+// absolute slack (sync.Pool warm-up makes allocs/op jitter by ±1 between
+// runs; a real leak moves it by orders of magnitude). Benchmark names are
+// compared after stripping the -N GOMAXPROCS suffix, so a baseline recorded
+// on one machine gates runs on another. Duplicate entries for one name
+// (from `go test -count N`) collapse to the best run per metric, so the
+// gate compares best-of-N against best-of-N and scheduler noise on a
+// shared machine stays out of the verdict.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+type entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 0.10, "max tolerated fractional regression (0.10 = +10%)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("want exactly two arguments (baseline.json current.json), got %d", fs.NArg())
+	}
+	if *threshold < 0 {
+		return fmt.Errorf("negative threshold %v", *threshold)
+	}
+	base, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cur, err := load(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	return diff(stdout, fs.Arg(0), base, cur, *threshold)
+}
+
+// load reads one benchmark record, keyed by normalized benchmark name.
+func load(path string) (map[string]entry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []entry
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]entry, len(entries))
+	for _, e := range entries {
+		e.Name = normalize(e.Name)
+		if e.Name == "" {
+			return nil, fmt.Errorf("%s: entry with empty name", path)
+		}
+		// Duplicate names come from `go test -count N`: keep the best run
+		// per metric, so the gate compares best-of-N against best-of-N and
+		// scheduler noise on a shared machine does not trip it.
+		if prev, ok := out[e.Name]; ok {
+			if prev.NsPerOp < e.NsPerOp {
+				e.NsPerOp = prev.NsPerOp
+			}
+			if prev.AllocsPerOp < e.AllocsPerOp {
+				e.AllocsPerOp = prev.AllocsPerOp
+			}
+		}
+		out[e.Name] = e
+	}
+	return out, nil
+}
+
+// gomaxprocsSuffix is the -N tag `go test -bench` appends to benchmark
+// names on multi-core machines (absent when GOMAXPROCS=1).
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func normalize(name string) string {
+	return gomaxprocsSuffix.ReplaceAllString(name, "")
+}
+
+// diff prints a comparison table and returns an error naming every
+// benchmark that regressed past the threshold or vanished from the current
+// run (a silently dropped benchmark is a gate hole, not a pass).
+func diff(w io.Writer, basePath string, base, cur map[string]entry, threshold float64) error {
+	names := make([]string, 0, len(base))
+	for n := range base {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var regressions []string
+	fmt.Fprintf(w, "%-28s %14s %14s %8s %10s %10s  %s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δns", "old allocs", "new allocs", "verdict")
+	for _, n := range names {
+		b := base[n]
+		c, ok := cur[n]
+		if !ok {
+			fmt.Fprintf(w, "%-28s %14.0f %14s %8s %10.0f %10s  MISSING\n",
+				n, b.NsPerOp, "-", "-", b.AllocsPerOp, "-")
+			regressions = append(regressions, n+" missing from current run")
+			continue
+		}
+		var reasons []string
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+threshold) {
+			reasons = append(reasons, fmt.Sprintf("ns/op %+.1f%%", 100*(c.NsPerOp/b.NsPerOp-1)))
+		}
+		// One alloc of absolute slack: pool warm-up jitter, not a leak.
+		if c.AllocsPerOp > b.AllocsPerOp*(1+threshold)+1 {
+			reasons = append(reasons, fmt.Sprintf("allocs/op %.0f -> %.0f", b.AllocsPerOp, c.AllocsPerOp))
+		}
+		verdict := "ok"
+		if len(reasons) > 0 {
+			verdict = "REGRESSED (" + strings.Join(reasons, ", ") + ")"
+			regressions = append(regressions, n+": "+strings.Join(reasons, ", "))
+		}
+		delta := "-"
+		if b.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(c.NsPerOp/b.NsPerOp-1))
+		}
+		fmt.Fprintf(w, "%-28s %14.0f %14.0f %8s %10.0f %10.0f  %s\n",
+			n, b.NsPerOp, c.NsPerOp, delta, b.AllocsPerOp, c.AllocsPerOp, verdict)
+	}
+	for n := range cur {
+		if _, ok := base[n]; !ok {
+			fmt.Fprintf(w, "%-28s %14s %14.0f %8s %10s %10.0f  new (not in baseline)\n",
+				n, "-", cur[n].NsPerOp, "-", "-", cur[n].AllocsPerOp)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed past %.0f%% vs %s:\n  %s",
+			len(regressions), threshold*100, basePath, strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(w, "all %d benchmarks within %.0f%% of %s\n", len(names), threshold*100, basePath)
+	return nil
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFixture drops a benchmark record into dir and returns its path.
+func writeFixture(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const baseline = `[
+  {"name": "BenchmarkKMeansSeq", "ns_per_op": 1000, "allocs_per_op": 10},
+  {"name": "BenchmarkBootstrapQ3Seq", "ns_per_op": 500, "allocs_per_op": 0}
+]`
+
+func TestWithinThresholdPasses(t *testing.T) {
+	dir := t.TempDir()
+	old := writeFixture(t, dir, "old.json", baseline)
+	cur := writeFixture(t, dir, "new.json", `[
+	  {"name": "BenchmarkKMeansSeq", "ns_per_op": 1090, "allocs_per_op": 10},
+	  {"name": "BenchmarkBootstrapQ3Seq", "ns_per_op": 450, "allocs_per_op": 1}
+	]`)
+	var out strings.Builder
+	if err := run([]string{"-threshold", "0.10", old, cur}, &out); err != nil {
+		t.Fatalf("within-threshold diff failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "all 2 benchmarks within 10%") {
+		t.Errorf("missing pass summary in output:\n%s", out.String())
+	}
+}
+
+func TestNsRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	old := writeFixture(t, dir, "old.json", baseline)
+	cur := writeFixture(t, dir, "new.json", `[
+	  {"name": "BenchmarkKMeansSeq", "ns_per_op": 1200, "allocs_per_op": 10},
+	  {"name": "BenchmarkBootstrapQ3Seq", "ns_per_op": 500, "allocs_per_op": 0}
+	]`)
+	var out strings.Builder
+	err := run([]string{"-threshold", "0.10", old, cur}, &out)
+	if err == nil {
+		t.Fatalf("20%% ns/op regression passed the 10%% gate:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkKMeansSeq") {
+		t.Errorf("error does not name the regressed benchmark: %v", err)
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("table does not flag the regression:\n%s", out.String())
+	}
+}
+
+func TestAllocRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	old := writeFixture(t, dir, "old.json", baseline)
+	cur := writeFixture(t, dir, "new.json", `[
+	  {"name": "BenchmarkKMeansSeq", "ns_per_op": 1000, "allocs_per_op": 40},
+	  {"name": "BenchmarkBootstrapQ3Seq", "ns_per_op": 500, "allocs_per_op": 0}
+	]`)
+	var out strings.Builder
+	if err := run([]string{old, cur}, &out); err == nil {
+		t.Fatalf("4x allocs/op regression passed the gate:\n%s", out.String())
+	}
+}
+
+func TestOneAllocSlackTolerated(t *testing.T) {
+	dir := t.TempDir()
+	old := writeFixture(t, dir, "old.json", `[{"name": "B", "ns_per_op": 100, "allocs_per_op": 0}]`)
+	cur := writeFixture(t, dir, "new.json", `[{"name": "B", "ns_per_op": 100, "allocs_per_op": 1}]`)
+	var out strings.Builder
+	if err := run([]string{old, cur}, &out); err != nil {
+		t.Fatalf("single-alloc pool jitter failed the gate: %v", err)
+	}
+}
+
+func TestMissingBenchmarkFails(t *testing.T) {
+	dir := t.TempDir()
+	old := writeFixture(t, dir, "old.json", baseline)
+	cur := writeFixture(t, dir, "new.json", `[
+	  {"name": "BenchmarkKMeansSeq", "ns_per_op": 1000, "allocs_per_op": 10}
+	]`)
+	var out strings.Builder
+	err := run([]string{old, cur}, &out)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("dropped benchmark not reported: %v", err)
+	}
+}
+
+func TestGomaxprocsSuffixNormalized(t *testing.T) {
+	dir := t.TempDir()
+	old := writeFixture(t, dir, "old.json", `[{"name": "BenchmarkKMeansSeq", "ns_per_op": 1000, "allocs_per_op": 10}]`)
+	cur := writeFixture(t, dir, "new.json", `[{"name": "BenchmarkKMeansSeq-8", "ns_per_op": 1000, "allocs_per_op": 10}]`)
+	var out strings.Builder
+	if err := run([]string{old, cur}, &out); err != nil {
+		t.Fatalf("-8 suffix broke name matching: %v", err)
+	}
+}
+
+func TestCountRunsCollapseToBest(t *testing.T) {
+	dir := t.TempDir()
+	// -count 3 output: three entries per name; the best run (1000 ns) is
+	// within threshold of the baseline even though the worst is not.
+	old := writeFixture(t, dir, "old.json", `[{"name": "B", "ns_per_op": 1000, "allocs_per_op": 10}]`)
+	cur := writeFixture(t, dir, "new.json", `[
+	  {"name": "B", "ns_per_op": 1400, "allocs_per_op": 10},
+	  {"name": "B", "ns_per_op": 1000, "allocs_per_op": 10},
+	  {"name": "B", "ns_per_op": 1250, "allocs_per_op": 10}
+	]`)
+	var out strings.Builder
+	if err := run([]string{old, cur}, &out); err != nil {
+		t.Fatalf("best-of-3 within threshold failed the gate: %v", err)
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"only-one.json"}, &out); err == nil {
+		t.Error("single argument accepted")
+	}
+	dir := t.TempDir()
+	old := writeFixture(t, dir, "old.json", baseline)
+	if err := run([]string{"-threshold", "-1", old, old}, &out); err == nil {
+		t.Error("negative threshold accepted")
+	}
+	if err := run([]string{filepath.Join(dir, "absent.json"), old}, &out); err == nil {
+		t.Error("missing baseline file accepted")
+	}
+	bad := writeFixture(t, dir, "bad.json", `{"not": "an array"}`)
+	if err := run([]string{old, bad}, &out); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}

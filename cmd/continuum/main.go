@@ -13,7 +13,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
 
 	"repro/internal/capio"
@@ -22,6 +21,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/faas"
 	"repro/internal/orchestrator"
+	"repro/internal/rng"
 	"repro/internal/telemetry"
 	"repro/internal/workflow"
 )
@@ -97,7 +97,7 @@ func faasScenario(out io.Writer, rate, horizon float64, seed int64, metrics bool
 		{Name: "detect", WorkGFlop: 0.2, Class: faas.LowLatency, DeadlineS: 0.8, StateBytes: 1e6},
 		{Name: "train", WorkGFlop: 50, Class: faas.Batch, DeadlineS: 10, StateBytes: 50e6},
 	}
-	trace := faas.PoissonTrace(fns, rate, horizon, rand.New(rand.NewSource(seed)))
+	trace := faas.PoissonTrace(fns, rate, horizon, rng.New(seed))
 	var opts []faas.CompareOption
 	var reg *telemetry.Registry
 	if metrics {

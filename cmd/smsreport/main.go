@@ -11,6 +11,8 @@
 //	smsreport -catalog file.json      # run over an alternative catalog
 //	smsreport -workers 4              # bound the render worker pool
 //	smsreport -cache .smscache        # memoize the full report (warm = no re-render)
+//	smsreport -cpuprofile cpu.pprof   # profile the render (go tool pprof cpu.pprof)
+//	smsreport -memprofile mem.pprof   # allocation profile after the render
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/cas"
 	"repro/internal/catalog"
@@ -48,9 +51,36 @@ func run(args []string, stdout io.Writer) error {
 		workers     = fs.Int("workers", runtime.GOMAXPROCS(0), "render worker pool size (1 = sequential; output is identical for any value)")
 		metrics     = fs.Bool("metrics", false, "append Prometheus-text render metrics after the output")
 		cacheDir    = fs.String("cache", "", "content-addressed artifact cache directory for the full report: a warm rebuild over an unchanged study re-renders nothing (internal/cas)")
+		cpuProfile  = fs.String("cpuprofile", "", "write a pprof CPU profile of the render to this file")
+		memProfile  = fs.String("memprofile", "", "write a pprof allocation profile after the render to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "smsreport: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap so the profile shows retained allocations
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "smsreport: memprofile:", err)
+			}
+		}()
 	}
 	var reg *telemetry.Registry
 	if *metrics {
@@ -268,7 +298,7 @@ func writeAll(s *core.Study, dir string, workers int, reg *telemetry.Registry) e
 			outs = append(outs, out)
 		}
 		return outs, nil
-	}, func(a, b []string) []string { return append(a, b...) }, par.Workers(workers))
+	}, func(a, b []string) []string { return append(a, b...) }, par.Workers(workers), par.Grain(1))
 	if err != nil {
 		return err
 	}

@@ -6,11 +6,11 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	"repro/internal/continuum"
 	"repro/internal/faas"
 	"repro/internal/netlink"
+	"repro/internal/rng"
 )
 
 func main() {
@@ -18,7 +18,7 @@ func main() {
 		{Name: "alert", WorkGFlop: 0.1, Class: faas.LowLatency, DeadlineS: 0.5, StateBytes: 0.5e6},
 		{Name: "analytics", WorkGFlop: 40, Class: faas.Batch, DeadlineS: 15, StateBytes: 80e6},
 	}
-	trace := faas.PoissonTrace(fns, 25, 120, rand.New(rand.NewSource(7)))
+	trace := faas.PoissonTrace(fns, 25, 120, rng.New(7))
 	fmt.Printf("Workload: %d invocations over 120 s (low-latency alerts + batch analytics)\n\n", len(trace))
 
 	results, names, err := faas.CompareSchedulers(fns, trace, continuum.EdgeCloudTestbed,

@@ -26,6 +26,17 @@ func (p Point) Dist(q Point) float64 {
 	return math.Hypot(dx, dy)
 }
 
+// DistSq returns the squared Euclidean distance. It is the argmin/inertia
+// kernel: since sqrt is monotonic, comparing squared distances picks the
+// same nearest centroid as comparing distances, and the inertia is defined
+// on squared distances anyway — so the hot loops never pay for Hypot's
+// overflow-safe sqrt (~20× the cost of two multiply-adds) per candidate.
+// Use Dist only where the actual metric value is reported.
+func (p Point) DistSq(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
 // KMeansResult holds the clustering outcome.
 type KMeansResult struct {
 	Centroids  []Point
@@ -35,33 +46,24 @@ type KMeansResult struct {
 	Inertia float64
 }
 
-// kmeansPartial accumulates one shard's contribution to a Lloyd iteration:
-// whether any assignment changed, plus per-centroid coordinate sums and
-// counts for the update step.
-type kmeansPartial struct {
-	changed bool
-	sx, sy  []float64
-	count   []int
-}
-
-func mergeKMeansPartial(a, b kmeansPartial) kmeansPartial {
-	a.changed = a.changed || b.changed
-	for c := range a.sx {
-		a.sx[c] += b.sx[c]
-		a.sy[c] += b.sy[c]
-		a.count[c] += b.count[c]
-	}
-	return a
-}
+// kmeansGrain declares the per-point cost of the assignment pass to the
+// par grain heuristic: each point evaluates k squared-distance kernels, so
+// a shard of 256 points is already worth a worker handoff.
+const kmeansGrain = 256
 
 // KMeans runs Lloyd's algorithm with deterministic seeded initialization
 // (random distinct points as initial centroids). It converges when no
 // assignment changes or maxIter is reached.
 //
 // The assignment step runs on the par worker pool: points are split into a
-// fixed number of shards, each shard computes partial centroid sums, and
-// the partials merge in shard index order — so the floating-point centroid
-// update is bit-identical for any par.Workers(n).
+// fixed number of shards, each shard accumulates partial centroid sums
+// into its own row of a flat scratch buffer (allocated once per call and
+// reused across every Lloyd iteration — nothing is allocated inside the
+// loop), and the rows fold in shard index order — so the floating-point
+// centroid update is bit-identical for any par.Workers(n). The nearest
+// centroid is chosen by squared distance (DistSq): argmin is
+// sqrt-invariant, and skipping Hypot in the k×n inner loop is the
+// difference between a sqrt-bound and a multiply-add-bound kernel.
 func KMeans(points []Point, k int, maxIter int, rng *rand.Rand, opts ...par.Option) (*KMeansResult, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("bigdata: k = %d", k)
@@ -86,39 +88,67 @@ func KMeans(points []Point, k int, maxIter int, rng *rand.Rand, opts ...par.Opti
 		assign[i] = -1
 	}
 	res := &KMeansResult{Centroids: centroids, Assignment: assign}
+
+	kOpts := append([]par.Option{par.Grain(kmeansGrain)}, opts...)
+	// One flat accumulator row per shard, reused across iterations. Shards
+	// write disjoint rows (and disjoint ranges of assign), so the pass has
+	// no shared mutable state; the deterministic fold below reads the rows
+	// in shard index order.
+	nShards := par.ShardCount(len(points), kOpts...)
+	sx := make([]float64, nShards*k)
+	sy := make([]float64, nShards*k)
+	count := make([]int, nShards*k)
+	changed := make([]bool, nShards)
 	for iter := 0; iter < maxIter; iter++ {
 		res.Iterations = iter + 1
-		// Fused assignment + partial-sum pass. Shards write disjoint ranges
-		// of assign, so the only shared state is the merged partial.
-		total, err := par.MapReduceN(len(points), func(_, lo, hi int) (kmeansPartial, error) {
-			pt := kmeansPartial{sx: make([]float64, k), sy: make([]float64, k), count: make([]int, k)}
+		for i := range sx {
+			sx[i], sy[i] = 0, 0
+		}
+		for i := range count {
+			count[i] = 0
+		}
+		for s := range changed {
+			changed[s] = false
+		}
+		par.ForShards(len(points), func(s, lo, hi int) {
+			rsx := sx[s*k : (s+1)*k]
+			rsy := sy[s*k : (s+1)*k]
+			rcount := count[s*k : (s+1)*k]
 			for i := lo; i < hi; i++ {
 				p := points[i]
-				best, bestD := 0, math.Inf(1)
-				for c, cp := range centroids {
-					if d := p.Dist(cp); d < bestD {
+				best, bestD := 0, p.DistSq(centroids[0])
+				for c := 1; c < len(centroids); c++ {
+					if d := p.DistSq(centroids[c]); d < bestD {
 						best, bestD = c, d
 					}
 				}
 				if assign[i] != best {
 					assign[i] = best
-					pt.changed = true
+					changed[s] = true
 				}
-				pt.sx[best] += p.X
-				pt.sy[best] += p.Y
-				pt.count[best]++
+				rsx[best] += p.X
+				rsy[best] += p.Y
+				rcount[best]++
 			}
-			return pt, nil
-		}, mergeKMeansPartial, opts...)
-		if err != nil {
-			return nil, err
+		}, kOpts...)
+		anyChanged := false
+		for _, ch := range changed {
+			anyChanged = anyChanged || ch
 		}
-		if !total.changed && iter > 0 {
+		if !anyChanged && iter > 0 {
 			break
 		}
 		for c := 0; c < k; c++ {
-			if total.count[c] > 0 {
-				centroids[c] = Point{total.sx[c] / float64(total.count[c]), total.sy[c] / float64(total.count[c])}
+			// Fold shard rows in index order: the same left-to-right float
+			// summation for every worker count.
+			tx, ty, n := sx[c], sy[c], count[c]
+			for s := 1; s < nShards; s++ {
+				tx += sx[s*k+c]
+				ty += sy[s*k+c]
+				n += count[s*k+c]
+			}
+			if n > 0 {
+				centroids[c] = Point{tx / float64(n), ty / float64(n)}
 			}
 			// Empty clusters keep their previous centroid.
 		}
@@ -126,11 +156,12 @@ func KMeans(points []Point, k int, maxIter int, rng *rand.Rand, opts ...par.Opti
 	inertia, err := par.MapReduceN(len(points), func(_, lo, hi int) (float64, error) {
 		s := 0.0
 		for i := lo; i < hi; i++ {
-			d := points[i].Dist(centroids[assign[i]])
-			s += d * d
+			// Inertia is the sum of *squared* distances: use the squared
+			// kernel directly instead of squaring a sqrt.
+			s += points[i].DistSq(centroids[assign[i]])
 		}
 		return s, nil
-	}, func(a, b float64) float64 { return a + b }, opts...)
+	}, func(a, b float64) float64 { return a + b }, kOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -171,6 +202,19 @@ func (c HotspotConfig) Validate() error {
 	return nil
 }
 
+// packCell packs signed cell coordinates into one map key. An 8-byte
+// integer key hashes and compares in one word — the grid maps are the
+// whole cost of hotspot detection, and [2]int keys make every map
+// operation hash 16 bytes and compare two words. Coordinates are truncated
+// to 32 bits, which at any sane CellSize is ±2 billion cells per axis.
+func packCell(x, y int) uint64 {
+	return uint64(uint32(int32(x)))<<32 | uint64(uint32(int32(y)))
+}
+
+func unpackCell(k uint64) (x, y int) {
+	return int(int32(k >> 32)), int(int32(k))
+}
+
 // FindHotspots detects dense cell clusters with locally adaptive density
 // thresholds, merging 4-adjacent dense cells into hotspots. Hotspots are
 // returned sorted by Count descending (ties by center for determinism).
@@ -181,25 +225,25 @@ func FindHotspots(points []Point, cfg HotspotConfig) ([]Hotspot, error) {
 	if len(points) == 0 {
 		return nil, nil
 	}
-	// Bin points into cells.
-	type cell = [2]int
-	counts := map[cell]int{}
+	// Bin points into packed cells.
+	counts := make(map[uint64]int, len(points)/4)
 	for _, p := range points {
-		c := cell{int(math.Floor(p.X / cfg.CellSize)), int(math.Floor(p.Y / cfg.CellSize))}
+		c := packCell(int(math.Floor(p.X/cfg.CellSize)), int(math.Floor(p.Y/cfg.CellSize)))
 		counts[c]++
 	}
 	// Regional mean densities over non-empty cells.
-	regionOf := func(c cell) cell {
-		return cell{floorDiv(c[0], cfg.RegionCells), floorDiv(c[1], cfg.RegionCells)}
+	regionOf := func(c uint64) uint64 {
+		x, y := unpackCell(c)
+		return packCell(floorDiv(x, cfg.RegionCells), floorDiv(y, cfg.RegionCells))
 	}
-	regSum := map[cell]int{}
-	regN := map[cell]int{}
+	regSum := map[uint64]int{}
+	regN := map[uint64]int{}
 	for c, n := range counts {
 		r := regionOf(c)
 		regSum[r] += n
 		regN[r]++
 	}
-	dense := map[cell]bool{}
+	dense := make(map[uint64]bool, len(counts)/2)
 	for c, n := range counts {
 		r := regionOf(c)
 		threshold := cfg.ThresholdFactor * float64(regSum[r]) / float64(regN[r])
@@ -208,39 +252,43 @@ func FindHotspots(points []Point, cfg HotspotConfig) ([]Hotspot, error) {
 		}
 	}
 	// Flood-fill 4-adjacent dense cells.
-	visited := map[cell]bool{}
+	visited := make(map[uint64]bool, len(dense))
 	var hotspots []Hotspot
-	// Deterministic iteration: sort dense cells.
-	cells := make([]cell, 0, len(dense))
+	// Deterministic iteration: sort dense cells by (x, y) — the packed
+	// order would differ for negative coordinates.
+	cells := make([]uint64, 0, len(dense))
 	for c := range dense {
 		cells = append(cells, c)
 	}
 	sort.Slice(cells, func(i, j int) bool {
-		if cells[i][0] != cells[j][0] {
-			return cells[i][0] < cells[j][0]
+		xi, yi := unpackCell(cells[i])
+		xj, yj := unpackCell(cells[j])
+		if xi != xj {
+			return xi < xj
 		}
-		return cells[i][1] < cells[j][1]
+		return yi < yj
 	})
+	var stack []uint64
 	for _, start := range cells {
 		if visited[start] {
 			continue
 		}
 		var h Hotspot
-		stack := []cell{start}
+		stack = append(stack[:0], start)
 		visited[start] = true
 		var wx, wy float64
 		for len(stack) > 0 {
 			c := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			h.Cells = append(h.Cells, c)
+			x, y := unpackCell(c)
+			h.Cells = append(h.Cells, [2]int{x, y})
 			n := counts[c]
 			h.Count += n
-			cx := (float64(c[0]) + 0.5) * cfg.CellSize
-			cy := (float64(c[1]) + 0.5) * cfg.CellSize
+			cx := (float64(x) + 0.5) * cfg.CellSize
+			cy := (float64(y) + 0.5) * cfg.CellSize
 			wx += cx * float64(n)
 			wy += cy * float64(n)
-			for _, d := range []cell{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
-				nb := cell{c[0] + d[0], c[1] + d[1]}
+			for _, nb := range [4]uint64{packCell(x+1, y), packCell(x-1, y), packCell(x, y+1), packCell(x, y-1)} {
 				if dense[nb] && !visited[nb] {
 					visited[nb] = true
 					stack = append(stack, nb)

@@ -3,10 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 
 	"repro/internal/catalog"
 	"repro/internal/par"
+	"repro/internal/rng"
 	"repro/internal/stats"
 )
 
@@ -30,11 +30,29 @@ type BootstrapResult struct {
 	Stability float64
 }
 
+// bootstrapGrain declares the per-trial cost (|votes| RNG draws plus an
+// argmax) to the par grain heuristic: a handful of trials per shard is
+// already worth a worker handoff.
+const bootstrapGrain = 16
+
+// bootstrapCounts pools the per-trial resample tally so repeated bootstrap
+// runs (report rebuilds, sweeps) allocate no per-shard scratch at all.
+var bootstrapCounts = par.NewPool(func() *[]int {
+	s := make([]int, 0, 8)
+	return &s
+})
+
 // BootstrapQ3 resamples the selection votes with replacement `trials`
 // times and reports how often each direction tops the resampled
 // distribution. Trials are sharded with one SplitMix64-derived RNG per
-// shard and the per-shard tallies merge in shard index order, so the
-// result is bit-identical for any par.Workers(n) under the same seed.
+// shard (rng.Rand seeded via par.SplitSeed — allocation-free draws) and
+// the per-shard tallies merge in shard index order, so the result is
+// bit-identical for any par.Workers(n) under the same seed.
+//
+// The inner loop is kernelized: votes flatten once into direction indices,
+// each trial tallies into a pooled []int scratch, and the per-trial argmax
+// scans the tally in catalog.Directions() order (the same
+// earliest-on-tie rule as stats.CategoricalDist.ArgMax).
 func (s *Study) BootstrapQ3(trials int, seed int64, opts ...par.Option) (*BootstrapResult, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("core: non-positive trials %d", trials)
@@ -55,33 +73,53 @@ func (s *Study) BootstrapQ3(trials int, seed int64, opts ...par.Option) (*Bootst
 		return nil, err
 	}
 
-	tops, err := par.MapReduceN(trials, func(shard, lo, hi int) (map[catalog.Direction]int, error) {
-		rng := rand.New(rand.NewSource(par.SplitSeed(seed, shard)))
-		tally := map[catalog.Direction]int{}
+	dirs := catalog.Directions()
+	dirIdx := make(map[catalog.Direction]int, len(dirs))
+	for i, d := range dirs {
+		dirIdx[d] = i
+	}
+	voteIdx := make([]uint8, len(votes))
+	for i, v := range votes {
+		voteIdx[i] = uint8(dirIdx[v])
+	}
+
+	bOpts := append([]par.Option{par.Grain(bootstrapGrain)}, opts...)
+	tops, err := par.MapReduceScratch(trials, bootstrapCounts, func(shard, lo, hi int, scratch *[]int) ([]int, error) {
+		counts := (*scratch)[:0]
+		for range dirs {
+			counts = append(counts, 0)
+		}
+		*scratch = counts
+		r := rng.Seeded(par.SplitSeed(seed, shard))
+		tally := make([]int, len(dirs))
 		for t := lo; t < hi; t++ {
-			d := newDirectionDistLocal()
-			for i := 0; i < len(votes); i++ {
-				d.Observe(string(votes[rng.Intn(len(votes))]))
+			for i := range counts {
+				counts[i] = 0
 			}
-			top, err := d.ArgMax()
-			if err != nil {
-				return nil, err
+			for i := 0; i < len(voteIdx); i++ {
+				counts[voteIdx[r.Intn(len(voteIdx))]]++
 			}
-			tally[catalog.Direction(top)]++
+			top := 0
+			for c := 1; c < len(counts); c++ {
+				if counts[c] > counts[top] {
+					top = c
+				}
+			}
+			tally[top]++
 		}
 		return tally, nil
-	}, func(a, b map[catalog.Direction]int) map[catalog.Direction]int {
-		for d, n := range b {
-			a[d] += n
+	}, func(a, b []int) []int {
+		for i := range a {
+			a[i] += b[i]
 		}
 		return a
-	}, opts...)
+	}, bOpts...)
 	if err != nil {
 		return nil, err
 	}
 	res := &BootstrapResult{Trials: trials, TopShare: map[catalog.Direction]float64{}}
-	for _, d := range catalog.Directions() {
-		res.TopShare[d] = float64(tops[d]) / float64(trials)
+	for i, d := range dirs {
+		res.TopShare[d] = float64(tops[i]) / float64(trials)
 	}
 	res.Stability = res.TopShare[catalog.Direction(winner)]
 	return res, nil

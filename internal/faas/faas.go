@@ -10,9 +10,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/continuum"
+	"repro/internal/rng"
 )
 
 // Class is a QoS latency class.
@@ -71,8 +71,8 @@ type Trace []Invocation
 
 // PoissonTrace generates a Poisson arrival trace for the given functions
 // with the given aggregate rate (invocations/second) over horizon seconds.
-// Functions are drawn round-robin; the rng seed fixes the trace.
-func PoissonTrace(fns []Function, ratePerS, horizonS float64, rng *rand.Rand) Trace {
+// Functions are drawn round-robin; the generator seed fixes the trace.
+func PoissonTrace(fns []Function, ratePerS, horizonS float64, r *rng.Rand) Trace {
 	if len(fns) == 0 || ratePerS <= 0 || horizonS <= 0 {
 		return nil
 	}
@@ -80,7 +80,7 @@ func PoissonTrace(fns []Function, ratePerS, horizonS float64, rng *rand.Rand) Tr
 	t := 0.0
 	i := 0
 	for {
-		t += rng.ExpFloat64() / ratePerS
+		t += r.ExpFloat64() / ratePerS
 		if t >= horizonS {
 			return tr
 		}

@@ -1,12 +1,12 @@
 package faas
 
 import (
-	"math/rand"
 	"strings"
 	"testing"
 
 	"repro/internal/clock"
 	"repro/internal/continuum"
+	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
@@ -38,8 +38,8 @@ func TestFunctionValidate(t *testing.T) {
 }
 
 func TestPoissonTrace(t *testing.T) {
-	rng := rand.New(rand.NewSource(9))
-	tr := PoissonTrace(testFunctions(), 10, 100, rng)
+	r := rng.New(9)
+	tr := PoissonTrace(testFunctions(), 10, 100, r)
 	if len(tr) < 500 || len(tr) > 2000 {
 		t.Errorf("trace size = %d for rate 10 over 100 s", len(tr))
 	}
@@ -52,11 +52,11 @@ func TestPoissonTrace(t *testing.T) {
 		t.Error("arrival beyond horizon")
 	}
 	// Determinism under the same seed.
-	tr2 := PoissonTrace(testFunctions(), 10, 100, rand.New(rand.NewSource(9)))
+	tr2 := PoissonTrace(testFunctions(), 10, 100, rng.New(9))
 	if len(tr2) != len(tr) || tr2[0].ArrivalS != tr[0].ArrivalS {
 		t.Error("trace not reproducible")
 	}
-	if got := PoissonTrace(nil, 10, 100, rng); got != nil {
+	if got := PoissonTrace(nil, 10, 100, r); got != nil {
 		t.Error("empty function set should produce nil trace")
 	}
 }
@@ -102,7 +102,7 @@ func runWith(t *testing.T, s Scheduler, rate float64) *Result {
 			t.Fatal(err)
 		}
 	}
-	tr := PoissonTrace(testFunctions(), rate, 60, rand.New(rand.NewSource(4)))
+	tr := PoissonTrace(testFunctions(), rate, 60, rng.New(4))
 	r, err := p.Run(tr)
 	if err != nil {
 		t.Fatal(err)
@@ -192,7 +192,7 @@ func TestReservationsReleased(t *testing.T) {
 	for _, fn := range testFunctions() {
 		_ = p.Deploy(fn)
 	}
-	tr := PoissonTrace(testFunctions(), 20, 30, rand.New(rand.NewSource(2)))
+	tr := PoissonTrace(testFunctions(), 20, 30, rng.New(2))
 	if _, err := p.Run(tr); err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +258,7 @@ func TestEvaluateMigration(t *testing.T) {
 
 func TestCompareSchedulers(t *testing.T) {
 	fns := testFunctions()
-	tr := PoissonTrace(fns, 10, 30, rand.New(rand.NewSource(6)))
+	tr := PoissonTrace(fns, 10, 30, rng.New(6))
 	results, names, err := CompareSchedulers(fns, tr,
 		continuum.EdgeCloudTestbed,
 		[]Scheduler{EdgeFirst{}, CloudOnly{}, EnergyAware{}})
@@ -290,7 +290,7 @@ func TestMetricsIntegration(t *testing.T) {
 	for _, fn := range testFunctions() {
 		_ = p.Deploy(fn)
 	}
-	tr := PoissonTrace(testFunctions(), 5, 20, rand.New(rand.NewSource(8)))
+	tr := PoissonTrace(testFunctions(), 5, 20, rng.New(8))
 	r, err := p.Run(tr)
 	if err != nil {
 		t.Fatal(err)
@@ -323,7 +323,7 @@ func TestMetricsPromTextDeterministic(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		tr := PoissonTrace(testFunctions(), 5, 20, rand.New(rand.NewSource(8)))
+		tr := PoissonTrace(testFunctions(), 5, 20, rng.New(8))
 		if _, err := p.Run(tr); err != nil {
 			t.Fatal(err)
 		}
@@ -349,7 +349,7 @@ func TestMetricsPromTextDeterministic(t *testing.T) {
 // name, so one registry can hold a whole comparison without collisions.
 func TestCompareSchedulersWithMetrics(t *testing.T) {
 	fns := testFunctions()
-	tr := PoissonTrace(fns, 10, 30, rand.New(rand.NewSource(6)))
+	tr := PoissonTrace(fns, 10, 30, rng.New(6))
 	reg := telemetry.NewWithClock(clock.NewSim(1))
 	results, names, err := CompareSchedulers(fns, tr,
 		continuum.EdgeCloudTestbed,

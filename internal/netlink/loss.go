@@ -2,7 +2,8 @@ package netlink
 
 import (
 	"fmt"
-	"math/rand"
+
+	"repro/internal/rng"
 )
 
 // Loss injection: INSANE's differentiated QoS becomes observable under an
@@ -19,7 +20,7 @@ func (f *Fabric) EnableLoss(prob float64, seed int64) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.lossProb = prob
-	f.lossRng = rand.New(rand.NewSource(seed))
+	f.lossRng = rng.New(seed)
 	return nil
 }
 

@@ -13,8 +13,9 @@ package netlink
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
+
+	"repro/internal/rng"
 )
 
 // QoSClass selects a delivery path, mirroring INSANE's differentiated
@@ -72,7 +73,7 @@ type Fabric struct {
 
 	// Loss injection (loss.go).
 	lossProb float64
-	lossRng  *rand.Rand
+	lossRng  *rng.Rand
 	lost     int // Fast-path frames dropped by injected loss
 	retx     int // Reliable-path retransmissions
 }

@@ -2,9 +2,9 @@ package orchestrator
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/continuum"
+	"repro/internal/rng"
 	"repro/internal/workflow"
 )
 
@@ -17,7 +17,7 @@ import (
 type FaultModel struct {
 	FailureProb float64
 	MaxRetries  int
-	Rng         *rand.Rand // deterministic injections; nil = seed 1
+	Rng         *rng.Rand // deterministic injections; nil = seed 1
 }
 
 // Validate checks the model.
@@ -46,16 +46,16 @@ func SimulateWithFaults(wf *workflow.Workflow, inf *continuum.Infrastructure, p 
 	if err := fm.Validate(); err != nil {
 		return nil, err
 	}
-	rng := fm.Rng
-	if rng == nil {
-		rng = rand.New(rand.NewSource(1))
+	r := fm.Rng
+	if r == nil {
+		r = rng.New(1)
 	}
 	// Pre-draw attempts per step: attempts = 1 + number of leading failures.
 	attempts := map[string]int{}
 	failures := 0
 	for _, s := range wf.Steps() {
 		a := 1
-		for fm.FailureProb > 0 && rng.Float64() < fm.FailureProb {
+		for fm.FailureProb > 0 && r.Float64() < fm.FailureProb {
 			a++
 			if a > fm.MaxRetries+1 {
 				return nil, fmt.Errorf("orchestrator: step %q exhausted %d retries", s.ID, fm.MaxRetries)

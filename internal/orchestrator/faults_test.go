@@ -1,10 +1,10 @@
 package orchestrator
 
 import (
-	"math/rand"
 	"testing"
 
 	"repro/internal/continuum"
+	"repro/internal/rng"
 )
 
 func TestFaultModelValidate(t *testing.T) {
@@ -56,7 +56,7 @@ func TestFaultsExtendMakespan(t *testing.T) {
 	}
 	// With 40% failure probability some step almost surely retries.
 	faulty, err := SimulateWithFaults(wf, inf, p, "data-local",
-		FaultModel{FailureProb: 0.4, MaxRetries: 20, Rng: rand.New(rand.NewSource(2))})
+		FaultModel{FailureProb: 0.4, MaxRetries: 20, Rng: rng.New(3)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestRetryExhaustionFails(t *testing.T) {
 	}
 	// p=0.9 with zero retries: some step fails almost surely.
 	_, err = SimulateWithFaults(wf, inf, p, "data-local",
-		FaultModel{FailureProb: 0.9, MaxRetries: 0, Rng: rand.New(rand.NewSource(1))})
+		FaultModel{FailureProb: 0.9, MaxRetries: 0, Rng: rng.New(1)})
 	if err == nil {
 		t.Error("retry exhaustion not reported")
 	}
@@ -92,7 +92,7 @@ func TestFaultInjectionDeterministic(t *testing.T) {
 			t.Fatal(err)
 		}
 		fs, err := SimulateWithFaults(wf, inf, p, "data-local",
-			FaultModel{FailureProb: 0.3, MaxRetries: 10, Rng: rand.New(rand.NewSource(7))})
+			FaultModel{FailureProb: 0.3, MaxRetries: 10, Rng: rng.New(7)})
 		if err != nil {
 			t.Fatal(err)
 		}

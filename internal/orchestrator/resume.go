@@ -7,10 +7,10 @@ package orchestrator
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/continuum"
 	"repro/internal/par"
+	"repro/internal/rng"
 	"repro/internal/workflow"
 )
 
@@ -50,9 +50,9 @@ func SimulateWithResume(wf *workflow.Workflow, inf *continuum.Infrastructure, p 
 	if err := fm.Validate(); err != nil {
 		return nil, err
 	}
-	rng := fm.Rng
-	if rng == nil {
-		rng = rand.New(rand.NewSource(1))
+	r := fm.Rng
+	if r == nil {
+		r = rng.New(1)
 	}
 	// Draw attempts in insertion order (the SweepFaults convention). The
 	// first step to exhaust MaxRetries is the fatal one; its failed
@@ -61,7 +61,7 @@ func SimulateWithResume(wf *workflow.Workflow, inf *continuum.Infrastructure, p 
 	fatal := ""
 	for _, s := range wf.Steps() {
 		a := 1
-		for fm.FailureProb > 0 && rng.Float64() < fm.FailureProb {
+		for fm.FailureProb > 0 && r.Float64() < fm.FailureProb {
 			a++
 			if a > fm.MaxRetries+1 {
 				break
@@ -175,7 +175,7 @@ func SweepFaultsResume(mkWf func() *workflow.Workflow, mkInf func() *continuum.I
 			fm := FaultModel{
 				FailureProb: probs[i],
 				MaxRetries:  maxRetries,
-				Rng:         rand.New(rand.NewSource(par.SplitSeed(seed, i))),
+				Rng:         rng.New(par.SplitSeed(seed, i)),
 			}
 			rs, err := SimulateWithResume(wf, inf, placement, pol.Name(), fm)
 			if err != nil {
@@ -184,5 +184,5 @@ func SweepFaultsResume(mkWf func() *workflow.Workflow, mkInf func() *continuum.I
 			pts = append(pts, ResumePoint{FailureProb: probs[i], Stats: rs})
 		}
 		return pts, nil
-	}, func(a, b []ResumePoint) []ResumePoint { return append(a, b...) }, opts...)
+	}, func(a, b []ResumePoint) []ResumePoint { return append(a, b...) }, sweepOpts(opts)...)
 }

@@ -1,11 +1,11 @@
 package orchestrator
 
 import (
-	"math/rand"
 	"testing"
 
 	"repro/internal/continuum"
 	"repro/internal/par"
+	"repro/internal/rng"
 )
 
 // High failure probability with a single retry: some step exhausts its
@@ -26,7 +26,7 @@ func TestSimulateWithResumeSavesWork(t *testing.T) {
 	// Scan seeds until the fault lands past the first step, so the aborted
 	// run has checkpointed work to save.
 	for seed := int64(1); seed < 200 && (rs == nil || rs.CompletedSteps == 0); seed++ {
-		fm := FaultModel{FailureProb: 0.6, MaxRetries: 1, Rng: rand.New(rand.NewSource(seed))}
+		fm := FaultModel{FailureProb: 0.6, MaxRetries: 1, Rng: rng.New(seed)}
 		rs, err = SimulateWithResume(wf, inf, p, "data-local", fm)
 		if err != nil {
 			t.Fatal(err)
@@ -61,7 +61,7 @@ func TestSimulateWithResumeNilOnSuccess(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fm := FaultModel{FailureProb: 0, MaxRetries: 0, Rng: rand.New(rand.NewSource(1))}
+	fm := FaultModel{FailureProb: 0, MaxRetries: 0, Rng: rng.New(1)}
 	rs, err := SimulateWithResume(wf, inf, p, "data-local", fm)
 	if err != nil {
 		t.Fatal(err)

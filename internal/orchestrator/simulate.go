@@ -290,7 +290,7 @@ func Compare(mkWf func() *workflow.Workflow, mkInf func() *continuum.Infrastruct
 			scheds = append(scheds, s)
 		}
 		return scheds, nil
-	}, func(a, b []*Schedule) []*Schedule { return append(a, b...) }, opts...)
+	}, func(a, b []*Schedule) []*Schedule { return append(a, b...) }, sweepOpts(opts)...)
 	if err != nil {
 		return nil, err
 	}

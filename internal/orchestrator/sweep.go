@@ -2,10 +2,10 @@ package orchestrator
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/continuum"
 	"repro/internal/par"
+	"repro/internal/rng"
 	"repro/internal/workflow"
 )
 
@@ -15,6 +15,16 @@ import (
 // par worker pool with one SplitMix64-derived RNG per candidate and the
 // per-shard results merged in shard index order, keeping sweeps
 // bit-identical for any par.Workers(n).
+
+// sweepGrain declares sweep item cost to the par grain heuristic: every
+// candidate is a full placement + discrete-event simulation, so even a
+// single item per shard is worth a worker handoff.
+const sweepGrain = 1
+
+// sweepOpts prepends the sweep grain so caller options still override it.
+func sweepOpts(opts []par.Option) []par.Option {
+	return append([]par.Option{par.Grain(sweepGrain)}, opts...)
+}
 
 // FaultPoint is one candidate of a fault-injection sweep.
 type FaultPoint struct {
@@ -42,7 +52,7 @@ func SweepFaults(mkWf func() *workflow.Workflow, mkInf func() *continuum.Infrast
 			fm := FaultModel{
 				FailureProb: probs[i],
 				MaxRetries:  maxRetries,
-				Rng:         rand.New(rand.NewSource(par.SplitSeed(seed, i))),
+				Rng:         rng.New(par.SplitSeed(seed, i)),
 			}
 			fs, err := SimulateWithFaults(wf, inf, placement, pol.Name(), fm)
 			if err != nil {
@@ -51,7 +61,7 @@ func SweepFaults(mkWf func() *workflow.Workflow, mkInf func() *continuum.Infrast
 			pts = append(pts, FaultPoint{FailureProb: probs[i], Stats: fs})
 		}
 		return pts, nil
-	}, func(a, b []FaultPoint) []FaultPoint { return append(a, b...) }, opts...)
+	}, func(a, b []FaultPoint) []FaultPoint { return append(a, b...) }, sweepOpts(opts)...)
 }
 
 // SweepSlack scores the EnergyDeadline policy across deadline-slack
@@ -78,5 +88,5 @@ func SweepSlack(mkWf func() *workflow.Workflow, mkInf func() *continuum.Infrastr
 			out = append(out, s)
 		}
 		return out, nil
-	}, func(a, b []*Schedule) []*Schedule { return append(a, b...) }, opts...)
+	}, func(a, b []*Schedule) []*Schedule { return append(a, b...) }, sweepOpts(opts)...)
 }

@@ -27,10 +27,27 @@ import (
 // machine.
 const defaultShards = 32
 
+// DefaultGrain is the minimum number of items per shard below which an
+// execution skips the worker pool and runs every shard inline on the
+// calling goroutine. It is tuned for nanosecond-scale item bodies (a float
+// multiply-add per item): below ~4k such items per shard, goroutine
+// startup and the work-handoff atomics cost more than the loop itself, and
+// "parallel" runs slower than sequential (the BenchmarkMapReducePar
+// regression this threshold fixes). Call sites whose items are expensive —
+// a distance kernel, a bootstrap trial, a whole simulation — declare it
+// with Grain (e.g. Grain(1) for simulation sweeps), because per-item cost
+// is something only the call site knows.
+//
+// The fallback changes only *where* shards execute, never how the work is
+// split: shard boundaries, per-shard seeds, and merge order are identical,
+// so results stay bit-for-bit the same.
+const DefaultGrain = 4096
+
 // options configures a parallel execution.
 type options struct {
 	workers int
 	shards  int
+	grain   int
 }
 
 // Option configures For / MapReduce executions.
@@ -63,12 +80,45 @@ func Shards(n int) Option {
 	}
 }
 
+// Grain declares the smallest number of items per shard worth a worker
+// handoff for this call site's item cost: executions with fewer items per
+// shard run inline on the calling goroutine (identical results, no
+// goroutines). The default is DefaultGrain, tuned for trivial item bodies;
+// pass small values (down to Grain(1)) when each item is itself heavy.
+// Values below 1 fall back to 1.
+func Grain(n int) Option {
+	return func(o *options) {
+		if n >= 1 {
+			o.grain = n
+		} else {
+			o.grain = 1
+		}
+	}
+}
+
 func buildOptions(opts []Option) options {
-	o := options{workers: runtime.GOMAXPROCS(0), shards: defaultShards}
+	o := options{workers: runtime.GOMAXPROCS(0), shards: defaultShards, grain: DefaultGrain}
 	for _, fn := range opts {
 		fn(&o)
 	}
 	return o
+}
+
+// workersFor applies the grain-size fallback: when the per-shard item
+// count is below the configured grain, the shards run inline (workers 1).
+func (o options) workersFor(n, nShards int) int {
+	if nShards > 0 && n/nShards < o.grain {
+		return 1
+	}
+	return o.workers
+}
+
+// ShardCount reports how many shards an input of n items splits into under
+// the given options — the size callers need to pre-allocate per-shard
+// scratch rows for ForShards bodies.
+func ShardCount(n int, opts ...Option) int {
+	o := buildOptions(opts)
+	return min(o.shards, n)
 }
 
 // SplitSeed derives the shard-th sub-seed from a root seed using the
@@ -138,7 +188,7 @@ func runShards(nShards, workers int, fn func(shard int)) {
 func ForShards(n int, fn func(shard, lo, hi int), opts ...Option) {
 	o := buildOptions(opts)
 	nShards := min(o.shards, n)
-	runShards(nShards, o.workers, func(s int) {
+	runShards(nShards, o.workersFor(n, nShards), func(s int) {
 		lo, hi := shardBounds(n, nShards, s)
 		fn(s, lo, hi)
 	})
@@ -170,7 +220,7 @@ func MapReduceN[R any](n int, mapShard func(shard, lo, hi int) (R, error), merge
 	}
 	results := make([]R, nShards)
 	errs := make([]error, nShards)
-	runShards(nShards, o.workers, func(s int) {
+	runShards(nShards, o.workersFor(n, nShards), func(s int) {
 		lo, hi := shardBounds(n, nShards, s)
 		results[s], errs[s] = mapShard(s, lo, hi)
 	})
@@ -191,5 +241,24 @@ func MapReduceN[R any](n int, mapShard func(shard, lo, hi int) (R, error), merge
 func MapReduce[T, R any](items []T, mapShard func(shard int, chunk []T) (R, error), merge func(R, R) R, opts ...Option) (R, error) {
 	return MapReduceN(len(items), func(shard, lo, hi int) (R, error) {
 		return mapShard(shard, items[lo:hi])
+	}, merge, opts...)
+}
+
+// MapReduceScratch is MapReduceN with a per-shard scratch value recycled
+// through the typed pool: each shard borrows one scratch before walking its
+// range and returns it when done, so shard bodies that need working
+// buffers (resample tallies, partial-sum rows) allocate nothing in steady
+// state — repeated calls reuse the same buffers across the whole process.
+//
+// The scratch is loaned for the duration of one shard body only: it must
+// not escape into the shard's result R (the pool hands it to another shard
+// as soon as the body returns). The body is responsible for resetting any
+// state it reads before writing — pooled values arrive dirty.
+func MapReduceScratch[R, S any](n int, pool *Pool[S], mapShard func(shard, lo, hi int, scratch S) (R, error), merge func(R, R) R, opts ...Option) (R, error) {
+	return MapReduceN(n, func(shard, lo, hi int) (R, error) {
+		scratch := pool.Get()
+		r, err := mapShard(shard, lo, hi, scratch)
+		pool.Put(scratch)
+		return r, err
 	}, merge, opts...)
 }

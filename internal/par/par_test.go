@@ -49,7 +49,8 @@ func TestShardBoundsPartition(t *testing.T) {
 func TestForCoversEveryIndex(t *testing.T) {
 	for _, workers := range []int{1, 2, 8} {
 		hits := make([]int32, 1000)
-		For(len(hits), func(i int) { atomic.AddInt32(&hits[i], 1) }, Workers(workers))
+		// Grain(1) keeps the worker pool engaged despite the small input.
+		For(len(hits), func(i int) { atomic.AddInt32(&hits[i], 1) }, Workers(workers), Grain(1))
 		for i, h := range hits {
 			if h != 1 {
 				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
@@ -74,7 +75,7 @@ func TestMapReduceDeterministicAcrossWorkers(t *testing.T) {
 				s += x
 			}
 			return s, nil
-		}, func(a, b float64) float64 { return a + b }, Workers(workers))
+		}, func(a, b float64) float64 { return a + b }, Workers(workers), Grain(1))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -98,7 +99,7 @@ func TestMapReduceNSeedSplitDeterminism(t *testing.T) {
 				vals = append(vals, rng.Float64())
 			}
 			return vals, nil
-		}, func(a, b []float64) []float64 { return append(a, b...) }, Workers(workers))
+		}, func(a, b []float64) []float64 { return append(a, b...) }, Workers(workers), Grain(1))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -128,7 +129,7 @@ func TestMapReduceErrorLowestShardWins(t *testing.T) {
 			return 0, fmt.Errorf("shard %d", shard)
 		}
 		return 1, nil
-	}, func(a, b int) int { return a + b }, Workers(8), Shards(16))
+	}, func(a, b int) int { return a + b }, Workers(8), Shards(16), Grain(1))
 	if err != errLow {
 		t.Errorf("err = %v, want the lowest-indexed shard error", err)
 	}
@@ -150,6 +151,83 @@ func TestWorkersOneRunsInline(t *testing.T) {
 		if s != i {
 			t.Fatalf("shard order with Workers(1) = %v", order)
 		}
+	}
+}
+
+// Below the grain threshold the worker pool is skipped entirely: shards
+// execute inline, in order, on the calling goroutine — even when the
+// caller asked for many workers. (The slice append below is unsynchronized
+// on purpose; the race detector would flag any stray goroutine.)
+func TestGrainFallbackRunsInline(t *testing.T) {
+	var order []int
+	ForShards(1000, func(shard, _, _ int) { order = append(order, shard) }, Workers(8))
+	if len(order) != 32 {
+		t.Fatalf("ran %d shards, want 32", len(order))
+	}
+	for i, s := range order {
+		if s != i {
+			t.Fatalf("below-grain shard order = %v, want sequential", order)
+		}
+	}
+	// Grain(1) re-engages the pool; results must be identical either way.
+	seq, _ := MapReduceN(1000, func(shard, lo, hi int) (int, error) { return hi - lo, nil },
+		func(a, b int) int { return a + b }, Workers(8))
+	parl, _ := MapReduceN(1000, func(shard, lo, hi int) (int, error) { return hi - lo, nil },
+		func(a, b int) int { return a + b }, Workers(8), Grain(1))
+	if seq != 1000 || parl != 1000 {
+		t.Errorf("sums: inline %d, pooled %d, want 1000", seq, parl)
+	}
+}
+
+func TestShardCount(t *testing.T) {
+	for _, tc := range []struct {
+		n, want int
+		opts    []Option
+	}{
+		{0, 0, nil}, {1, 1, nil}, {31, 31, nil}, {32, 32, nil},
+		{50000, 32, nil}, {100, 10, []Option{Shards(10)}},
+	} {
+		if got := ShardCount(tc.n, tc.opts...); got != tc.want {
+			t.Errorf("ShardCount(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+// The scratch hook hands every shard body a pooled buffer and takes it
+// back afterwards; steady-state executions must not allocate fresh ones
+// per call.
+func TestMapReduceScratch(t *testing.T) {
+	var built atomic.Int64
+	pool := NewPool(func() *[]int {
+		built.Add(1)
+		b := make([]int, 8)
+		return &b
+	})
+	run := func() int {
+		got, err := MapReduceScratch(1000, pool, func(shard, lo, hi int, scratch *[]int) (int, error) {
+			buf := *scratch
+			buf[0] = 0 // pooled scratch arrives dirty; reset before use
+			for i := lo; i < hi; i++ {
+				buf[0]++
+			}
+			return buf[0], nil
+		}, func(a, b int) int { return a + b }, Workers(4), Grain(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	for i := 0; i < 50; i++ {
+		if got := run(); got != 1000 {
+			t.Fatalf("scratch sum = %d, want 1000", got)
+		}
+	}
+	// 50 runs × 32 shards would build 1600 buffers without reuse; the pool
+	// should hold that far below the no-reuse count (sync.Pool makes no
+	// hard guarantee, so assert a generous bound rather than equality —
+	// and none at all under -race, where sync.Pool drops puts on purpose).
+	if b := built.Load(); !raceEnabled && b > 400 {
+		t.Errorf("constructor ran %d times across 50 pooled runs", b)
 	}
 }
 

@@ -1,0 +1,8 @@
+//go:build !race
+
+package par
+
+// raceEnabled reports whether the race detector is active. Under -race,
+// sync.Pool intentionally drops a fraction of puts to surface reuse races,
+// so tests must not assert pool hit rates there.
+const raceEnabled = false

@@ -288,7 +288,8 @@ func sections(s *core.Study) []func() (string, error) {
 func Full(s *core.Study, opts ...par.Option) (string, error) {
 	secs := sections(s)
 	// One shard per section: each renders independently, and the string
-	// concatenation merge preserves the fixed section order.
+	// concatenation merge preserves the fixed section order. Grain(1): a
+	// section render is orders of magnitude heavier than the par handoff.
 	return par.MapReduceN(len(secs), func(_, lo, hi int) (string, error) {
 		var b strings.Builder
 		for i := lo; i < hi; i++ {
@@ -299,5 +300,5 @@ func Full(s *core.Study, opts ...par.Option) (string, error) {
 			b.WriteString(sec)
 		}
 		return b.String(), nil
-	}, func(a, b string) string { return a + b }, opts...)
+	}, func(a, b string) string { return a + b }, append([]par.Option{par.Grain(1)}, opts...)...)
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/orchestrator"
 	"repro/internal/pmu"
 	"repro/internal/ppc"
+	"repro/internal/rng"
 	"repro/internal/stream"
 	"repro/internal/workflow"
 	"repro/internal/worldmodel"
@@ -238,7 +239,7 @@ func Registry() []Scenario {
 				fns := []faas.Function{
 					{Name: "f", WorkGFlop: 1, Class: faas.LowLatency, DeadlineS: 2, StateBytes: 1e6},
 				}
-				trace := faas.PoissonTrace(fns, 10, 30, rand.New(rand.NewSource(9)))
+				trace := faas.PoissonTrace(fns, 10, 30, rng.New(9))
 				results, _, err := faas.CompareSchedulers(fns, trace, continuum.EdgeCloudTestbed,
 					[]faas.Scheduler{faas.EnergyAware{}, faas.CloudOnly{}})
 				if err != nil {
