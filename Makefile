@@ -3,15 +3,17 @@
 
 GO ?= go
 
-.PHONY: all build vet test race audit clockgate bench bench-compare bench-kernels bench-gate bench-cache artifacts examples outputs clean
+.PHONY: all build vet test race audit clockgate randgate experiments bench bench-compare bench-kernels bench-gate bench-cache artifacts examples outputs clean
 
-# audit (vet + race + clock gate) is part of all: the parallel substrate
-# (internal/par) and every hot path wired onto it must stay clean under the
-# race detector, and no simulator code may read the wall clock directly.
+# audit (vet + race + clock gate + rand gate) is part of all: the parallel
+# substrate (internal/par) and every hot path wired onto it must stay clean
+# under the race detector, no simulator code may read the wall clock
+# directly, and no experiment-registered package may seed math/rand.
+# experiments runs every registered experiment under clock.Sim;
 # bench-cache records the cold-vs-warm content-addressed report build;
 # bench-gate re-measures the kernel benchmarks and fails the build if any
 # regresses >10% ns/op against the committed BENCH_kernels.json baseline.
-all: build test audit bench-cache bench-gate
+all: build test audit experiments bench-cache bench-gate
 
 build:
 	$(GO) build ./...
@@ -25,8 +27,9 @@ test:
 race:
 	$(GO) test -race ./...
 
-# audit = static checks + race detector + the wall-clock gate (DESIGN.md §4).
-audit: vet race clockgate
+# audit = static checks + race detector + the wall-clock gate (DESIGN.md §4)
+# + the randomness gate (DESIGN.md §6).
+audit: vet race clockgate randgate
 
 # Enforce the clock contract: time.Now/time.Since/time.Sleep may appear in
 # internal/ only inside internal/clock (the single wall-clock boundary) and
@@ -41,6 +44,32 @@ clockgate:
 		echo "$$bad"; exit 1; \
 	fi
 	@echo "clock gate: clean"
+
+# Packages whose code is reachable from a registered experiment body: the
+# determinism obligations of DESIGN.md §6 apply to all of them.
+EXP_PKGS = internal/exp internal/experiments internal/scenarios internal/report \
+	internal/orchestrator internal/ppc internal/pmu internal/bigdata \
+	internal/fog internal/edgeml examples cmd
+
+# Enforce the experiment randomness contract: experiment-registered packages
+# (and the examples/CLIs that drive them) must derive every random stream
+# from internal/rng seed-splitting — importing math/rand or calling time.Now
+# there breaks Spec-fingerprint memoization and worker-count invariance.
+# Tests keep their freedom; _test.go files are exempt.
+randgate:
+	@bad=$$(grep -rn --include='*.go' -E '"math/rand(/v2)?"|time\.Now\(' $(EXP_PKGS) \
+		| grep -v '_test\.go:' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "rand gate: math/rand or time.Now in experiment-registered packages:"; \
+		echo "$$bad"; exit 1; \
+	fi
+	@echo "rand gate: clean"
+
+# Run every registered experiment under clock.Sim through the registry —
+# the uniform "all Table 2 checkmarks are executable" check, plus the
+# report build, orchestrator sweeps and continuum what-ifs.
+experiments:
+	$(GO) run ./cmd/smsreport -run all
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -11,7 +11,6 @@ package repro_test
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"testing"
 
 	"repro"
@@ -208,7 +207,7 @@ func BenchmarkAblationPlacement(b *testing.B) {
 		wf.MustAdd(workflow.Step{ID: "join", After: ids, WorkGFlop: 20})
 		return wf
 	}
-	for _, pol := range orchestrator.Policies(rand.New(rand.NewSource(42))) {
+	for _, pol := range orchestrator.Policies(rng.New(42)) {
 		pol := pol
 		b.Run(pol.Name(), func(b *testing.B) {
 			var makespan float64
@@ -321,7 +320,7 @@ func BenchmarkAblationFaaS(b *testing.B) {
 // BenchmarkAblationPPC compares compression permutations on the synthetic
 // Software-Heritage corpus (application 3.1).
 func BenchmarkAblationPPC(b *testing.B) {
-	files := ppc.SyntheticCorpus(20, 10, 2000, rand.New(rand.NewSource(42)))
+	files := ppc.SyntheticCorpus(20, 10, 2000, rng.New(42))
 	for _, perm := range []ppc.Permutation{ppc.Identity{}, ppc.ByName{}, ppc.ByContent{}} {
 		perm := perm
 		b.Run(perm.Name(), func(b *testing.B) {
@@ -369,12 +368,12 @@ func BenchmarkAblationCoupling(b *testing.B) {
 // BenchmarkAblationBlockSize compares BLEST-ML estimated block sizes
 // against a fixed default on simulated partitioned runtimes (Section 2.4).
 func BenchmarkAblationBlockSize(b *testing.B) {
-	rng := rand.New(rand.NewSource(33))
+	r := rng.New(33)
 	sample := func() bigdata.JobFeatures {
 		return bigdata.JobFeatures{
-			DatasetBytes: 1e10 + rng.Float64()*1e11,
-			Workers:      4 + rng.Intn(128),
-			MemPerWorker: 5e8 + rng.Float64()*4e9,
+			DatasetBytes: 1e10 + r.Float64()*1e11,
+			Workers:      4 + r.Intn(128),
+			MemPerWorker: 5e8 + r.Float64()*4e9,
 		}
 	}
 	var train []bigdata.TrainingExample
@@ -417,16 +416,16 @@ func BenchmarkAblationBlockSize(b *testing.B) {
 // BenchmarkDivExplorerMining measures frequent-subgroup mining throughput
 // (application 3.9).
 func BenchmarkDivExplorerMining(b *testing.B) {
-	rng := rand.New(rand.NewSource(5))
+	r := rng.New(5)
 	var data divexplorer.Dataset
 	for i := 0; i < 2000; i++ {
 		data.Rows = append(data.Rows, divexplorer.Row{
 			Attrs: map[string]string{
-				"a": string(rune('0' + rng.Intn(3))),
-				"b": string(rune('0' + rng.Intn(3))),
-				"c": string(rune('0' + rng.Intn(3))),
+				"a": string(rune('0' + r.Intn(3))),
+				"b": string(rune('0' + r.Intn(3))),
+				"c": string(rune('0' + r.Intn(3))),
 			},
-			Outcome: rng.Float64() < 0.2,
+			Outcome: r.Float64() < 0.2,
 		})
 	}
 	b.ResetTimer()

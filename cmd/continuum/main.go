@@ -7,6 +7,8 @@
 //	continuum -scenario faas -rate 20 -horizon 60
 //	continuum -scenario energy -vms 12
 //	continuum -scenario io -chunks 200
+//	continuum -list
+//	continuum -run continuum/faas
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/continuum"
 	"repro/internal/energy"
+	"repro/internal/experiments"
 	"repro/internal/faas"
 	"repro/internal/orchestrator"
 	"repro/internal/rng"
@@ -43,9 +46,25 @@ func run(args []string, out io.Writer) error {
 		chunks   = fs.Int("chunks", 200, "io: producer chunk count")
 		seed     = fs.Int64("seed", 1, "workload seed")
 		metrics  = fs.Bool("metrics", false, "faas: append Prometheus-text metrics after the report")
+		listExp  = fs.Bool("list", false, "list every registered experiment and exit")
+		runExp   = fs.String("run", "", "run one registered experiment by name (\"all\" = whole registry)")
+		jsonOut  = fs.Bool("json", false, "with -run: emit the experiment Result as JSON")
+		workers  = fs.Int("workers", 0, "with -run: bound the experiment worker pool (0 = default; results identical for any value)")
+		cacheDir = fs.String("cache", "", "with -run: content-addressed store directory for experiment memoization")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	cliOpts := experiments.CLIOptions{
+		List: *listExp, Run: *runExp, JSON: *jsonOut,
+		Seed: *seed, Workers: *workers, Cache: *cacheDir,
+	}
+	if cliOpts.Active() {
+		reg, err := experiments.Default()
+		if err != nil {
+			return err
+		}
+		return experiments.RunCLI(reg, cliOpts, out)
 	}
 	switch *scenario {
 	case "faas":

@@ -90,3 +90,30 @@ func TestFaaSScenarioMetrics(t *testing.T) {
 		t.Error("metrics printed without the flag")
 	}
 }
+
+// The registry-driven flags mirror smsreport's: one shared assembly backs
+// -list and -run in every CLI.
+func TestRegistryFlags(t *testing.T) {
+	var list strings.Builder
+	if err := run([]string{"-list"}, &list); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"continuum/faas", "continuum/energy", "scenario/3.4/liqo", "35 experiments"} {
+		if !strings.Contains(list.String(), want) {
+			t.Errorf("-list missing %q", want)
+		}
+	}
+	var a, b strings.Builder
+	if err := run([]string{"-run", "continuum/faas", "-seed", "7"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-run", "continuum/faas", "-seed", "7", "-workers", "8"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("-run output depends on the worker count")
+	}
+	if !strings.Contains(a.String(), "energy-aware") {
+		t.Errorf("faas experiment table malformed:\n%s", a.String())
+	}
+}

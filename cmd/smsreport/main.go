@@ -28,6 +28,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/par"
 	"repro/internal/report"
 	"repro/internal/telemetry"
@@ -53,6 +54,10 @@ func run(args []string, stdout io.Writer) error {
 		cacheDir    = fs.String("cache", "", "content-addressed artifact cache directory for the full report: a warm rebuild over an unchanged study re-renders nothing (internal/cas)")
 		cpuProfile  = fs.String("cpuprofile", "", "write a pprof CPU profile of the render to this file")
 		memProfile  = fs.String("memprofile", "", "write a pprof allocation profile after the render to this file")
+		listExp     = fs.Bool("list", false, "list every registered experiment and exit")
+		runExp      = fs.String("run", "", "run one registered experiment by name (\"all\" = whole registry)")
+		jsonOut     = fs.Bool("json", false, "with -run: emit the experiment Result as JSON")
+		seed        = fs.Int64("seed", 1, "with -run: root experiment seed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,6 +110,18 @@ func run(args []string, stdout io.Writer) error {
 	study, err := core.NewStudy(cat)
 	if err != nil {
 		return err
+	}
+
+	cliOpts := experiments.CLIOptions{
+		List: *listExp, Run: *runExp, JSON: *jsonOut,
+		Seed: *seed, Workers: *workers, Cache: *cacheDir,
+	}
+	if cliOpts.Active() {
+		reg, err := experiments.New(study)
+		if err != nil {
+			return err
+		}
+		return experiments.RunCLI(reg, cliOpts, stdout)
 	}
 
 	if *outDir != "" {

@@ -209,3 +209,48 @@ func TestCacheFlagByteIdentical(t *testing.T) {
 		t.Fatalf("cache store not created: %v", err)
 	}
 }
+
+// The registry-driven flags: -run report.full prints exactly the plain
+// report bytes, invariant across worker counts; -list names every
+// experiment; -run all sweeps the registry and goes fully cached on a
+// warm store.
+func TestRegistryFlags(t *testing.T) {
+	plain := runCapture(t)
+	for _, workers := range []string{"1", "4", "8"} {
+		if out := runCapture(t, "-run", "report.full", "-workers", workers); out != plain {
+			t.Fatalf("-run report.full -workers %s diverges from the plain render", workers)
+		}
+	}
+
+	list := runCapture(t, "-list")
+	for _, want := range []string{"report.full", "scenario/3.1/fastflow", "sweep/faults", "continuum/io", "35 experiments"} {
+		if !strings.Contains(list, want) {
+			t.Errorf("-list missing %q", want)
+		}
+	}
+
+	dir := t.TempDir()
+	cold := runCapture(t, "-run", "all", "-cache", filepath.Join(dir, "c"))
+	if !strings.Contains(cold, "35 experiments ok (hits=0 misses=35)") {
+		t.Errorf("cold sweep accounting wrong:\n%s", cold)
+	}
+	warm := runCapture(t, "-run", "all", "-cache", filepath.Join(dir, "c"))
+	if !strings.Contains(warm, "35 experiments ok (hits=35 misses=0)") {
+		t.Errorf("warm sweep executed bodies:\n%s", warm)
+	}
+	if !strings.Contains(warm, "report.full") || !strings.Contains(warm, "cached") {
+		t.Errorf("warm sweep summary malformed:\n%s", warm)
+	}
+
+	jsonOut := runCapture(t, "-run", "continuum/io", "-json")
+	for _, want := range []string{`"experiment": "continuum/io"`, `"fingerprint"`, `"overlap_x"`} {
+		if !strings.Contains(jsonOut, want) {
+			t.Errorf("-json output missing %q", want)
+		}
+	}
+
+	var sb strings.Builder
+	if err := run([]string{"-run", "no-such-experiment"}, &sb); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -19,6 +19,8 @@
 //	wfrun -demo -store .wfcache -cache-stats  # …again: every step hits
 //	wfrun -demo -store .wfcache -fail-step train   # inject a fault mid-run
 //	wfrun -demo -store .wfcache -resume       # replay only incomplete steps
+//	wfrun -list                               # list registered experiments
+//	wfrun -run sweep/faults                   # run one experiment
 package main
 
 import (
@@ -26,9 +28,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
 	"path/filepath"
+	"repro/internal/rng"
 	"sort"
 	"strings"
 	"time"
@@ -36,6 +38,7 @@ import (
 	"repro/internal/cas"
 	"repro/internal/clock"
 	"repro/internal/continuum"
+	"repro/internal/experiments"
 	"repro/internal/orchestrator"
 	"repro/internal/workflow"
 )
@@ -72,9 +75,24 @@ func run(args []string, out io.Writer) error {
 		resume     = fs.Bool("resume", false, "resume from the store's checkpoint journal, replaying only steps that had not completed (requires -store)")
 		cacheStats = fs.Bool("cache-stats", false, "print cache hit/miss and store statistics after a -store execution")
 		failStep   = fs.String("fail-step", "", "inject a failure into this step during a -store execution (checkpoint/resume demo)")
+		listExp    = fs.Bool("list", false, "list every registered experiment and exit")
+		runExp     = fs.String("run", "", "run one registered experiment by name (\"all\" = whole registry)")
+		jsonOut    = fs.Bool("json", false, "with -run: emit the experiment Result as JSON")
+		workers    = fs.Int("workers", 0, "with -run: bound the experiment worker pool (0 = default; results identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	cliOpts := experiments.CLIOptions{
+		List: *listExp, Run: *runExp, JSON: *jsonOut,
+		Seed: *seed, Workers: *workers, Cache: *storeDir,
+	}
+	if cliOpts.Active() {
+		reg, err := experiments.Default()
+		if err != nil {
+			return err
+		}
+		return experiments.RunCLI(reg, cliOpts, out)
 	}
 	if (*resume || *cacheStats || *failStep != "") && *storeDir == "" {
 		return fmt.Errorf("-resume, -cache-stats and -fail-step require -store DIR")
@@ -116,7 +134,7 @@ func run(args []string, out io.Writer) error {
 				return wf
 			},
 			continuum.Testbed,
-			orchestrator.Policies(rand.New(rand.NewSource(*seed))),
+			orchestrator.Policies(rng.New(*seed)),
 		)
 		if err != nil {
 			return err

@@ -149,3 +149,30 @@ func TestExecFlagValidation(t *testing.T) {
 		t.Error("-resume with no journal accepted")
 	}
 }
+
+// The registry-driven flags: wfrun exposes the same shared assembly, and
+// the sweep experiments are byte-stable across worker counts.
+func TestRegistryFlags(t *testing.T) {
+	var list strings.Builder
+	if err := run([]string{"-list"}, &list); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sweep/faults", "sweep/resume", "sweep/slack", "35 experiments"} {
+		if !strings.Contains(list.String(), want) {
+			t.Errorf("-list missing %q", want)
+		}
+	}
+	var a, b strings.Builder
+	if err := run([]string{"-run", "sweep/faults", "-seed", "3", "-workers", "1"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-run", "sweep/faults", "-seed", "3", "-workers", "8"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("sweep/faults output depends on the worker count")
+	}
+	if !strings.Contains(a.String(), "p(fail)") {
+		t.Errorf("sweep table malformed:\n%s", a.String())
+	}
+}

@@ -10,13 +10,13 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
+	"repro/internal/rng"
 
 	"repro/internal/divexplorer"
 )
 
 func main() {
-	rng := rand.New(rand.NewSource(99))
+	gen := rng.New(99)
 
 	// Synthetic audit set: the classifier is much worse on young
 	// self-employed applicants, slightly worse on low-income ones.
@@ -26,9 +26,9 @@ func main() {
 	jobs := []string{"employed", "self-employed", "retired"}
 	for i := 0; i < 6000; i++ {
 		r := divexplorer.Row{Attrs: map[string]string{
-			"age":    ages[rng.Intn(3)],
-			"income": incomes[rng.Intn(3)],
-			"job":    jobs[rng.Intn(3)],
+			"age":    ages[gen.Intn(3)],
+			"income": incomes[gen.Intn(3)],
+			"job":    jobs[gen.Intn(3)],
 		}}
 		p := 0.08
 		if r.Attrs["age"] == "young" && r.Attrs["job"] == "self-employed" {
@@ -36,7 +36,7 @@ func main() {
 		} else if r.Attrs["income"] == "low" {
 			p = 0.16
 		}
-		r.Outcome = rng.Float64() < p // true = misclassified
+		r.Outcome = gen.Float64() < p // true = misclassified
 		data.Rows = append(data.Rows, r)
 	}
 	fmt.Printf("Audit set: %d instances, global error rate %.1f%%\n\n", len(data.Rows), data.GlobalRate()*100)
@@ -70,9 +70,9 @@ func main() {
 	var xs [][]float64
 	var ys []float64
 	for i := 0; i < 300; i++ {
-		size := rng.Float64() * 10
+		size := gen.Float64() * 10
 		xs = append(xs, []float64{size})
-		ys = append(ys, 0.5*size*size+2*size+3+rng.NormFloat64()*0.1)
+		ys = append(ys, 0.5*size*size+2*size+3+gen.NormFloat64()*0.1)
 	}
 	model, err := divexplorer.SelectModel(xs, ys, divexplorer.DefaultGrid(), 5)
 	if err != nil {

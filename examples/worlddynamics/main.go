@@ -8,7 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
+	"repro/internal/rng"
 
 	"repro/internal/divexplorer"
 	"repro/internal/pmu"
@@ -72,7 +72,7 @@ func main() {
 	est := &pmu.Estimator{SampleRate: 10000, NominalHz: 50}
 	sig := &pmu.Signal{Amplitude: 325, Frequency: 50.5, Phase: 0, NoiseStd: 0.5}
 	ms, finalFreq, err := est.RunHIL(sig, 40, pmu.DroopController{NominalHz: 50, Gain: 0.4},
-		rand.New(rand.NewSource(3)))
+		rng.New(3))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,7 +13,7 @@ package repro_test
 import (
 	"context"
 	"math"
-	"math/rand"
+	"repro/internal/rng"
 	"strings"
 	"testing"
 
@@ -169,7 +169,7 @@ func TestWorldDynamicsWithSensorsAndAutoML(t *testing.T) {
 	// input (the Mingotti et al. integration).
 	est := &pmu.Estimator{SampleRate: 10000, NominalHz: 50}
 	sig := &pmu.Signal{Amplitude: 325, Frequency: 50.1, Phase: 0}
-	ms, err := est.Run(sig, 10, rand.New(rand.NewSource(1)))
+	ms, err := est.Run(sig, 10, rng.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +194,7 @@ func TestCompressionApplicationEndToEnd(t *testing.T) {
 	if len(app.SelectedTools) != 3 {
 		t.Fatalf("app 3.1 selections = %v", app.SelectedTools)
 	}
-	corpus := ppc.SyntheticCorpus(8, 6, 1500, rand.New(rand.NewSource(11)))
+	corpus := ppc.SyntheticCorpus(8, 6, 1500, rng.New(11))
 	a, err := ppc.Compress(context.Background(), corpus, ppc.ByName{}, ppc.Options{BlockSize: 16 << 10, Workers: 4})
 	if err != nil {
 		t.Fatal(err)

@@ -3,7 +3,7 @@ package bigdata
 import (
 	"context"
 	"fmt"
-	"math/rand"
+	prng "repro/internal/rng"
 	"testing"
 
 	"repro/internal/par"
@@ -37,14 +37,14 @@ func BenchmarkKMeansSeq(b *testing.B) { benchKMeans(b, par.Workers(1)) }
 func BenchmarkKMeansPar(b *testing.B) { benchKMeans(b) }
 
 func benchKMeans(b *testing.B, opts ...par.Option) {
-	rng := rand.New(rand.NewSource(1))
+	rng := prng.New(1)
 	pts := make([]Point, 50000)
 	for i := range pts {
 		pts[i] = Point{rng.Float64() * 100, rng.Float64() * 100}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := KMeans(pts, 8, 30, rand.New(rand.NewSource(2)), opts...); err != nil {
+		if _, err := KMeans(pts, 8, 30, prng.New(2), opts...); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -52,7 +52,7 @@ func benchKMeans(b *testing.B, opts ...par.Option) {
 
 // BenchmarkFindHotspots measures CHD-style multi-density detection.
 func BenchmarkFindHotspots(b *testing.B) {
-	rng := rand.New(rand.NewSource(3))
+	rng := prng.New(3)
 	pts := make([]Point, 20000)
 	for i := range pts {
 		pts[i] = Point{rng.Float64() * 1000, rng.Float64() * 1000}
@@ -68,7 +68,7 @@ func BenchmarkFindHotspots(b *testing.B) {
 
 // BenchmarkBlockSizeEstimate measures BLEST-ML training + inference.
 func BenchmarkBlockSizeEstimate(b *testing.B) {
-	rng := rand.New(rand.NewSource(4))
+	rng := prng.New(4)
 	train := genTraining(rng, 400)
 	var m BlockSizeModel
 	if err := m.Fit(train, 1e-6); err != nil {

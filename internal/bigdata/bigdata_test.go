@@ -5,8 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 	"reflect"
+	prng "repro/internal/rng"
 	"strings"
 	"testing"
 
@@ -149,7 +149,7 @@ func TestReduceGroups(t *testing.T) {
 }
 
 func TestKMeansSeparatesClusters(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
+	rng := prng.New(3)
 	var pts []Point
 	centers := []Point{{0, 0}, {10, 10}, {20, 0}}
 	for _, c := range centers {
@@ -157,7 +157,7 @@ func TestKMeansSeparatesClusters(t *testing.T) {
 			pts = append(pts, Point{c.X + rng.NormFloat64(), c.Y + rng.NormFloat64()})
 		}
 	}
-	res, err := KMeans(pts, 3, 100, rand.New(rand.NewSource(7)))
+	res, err := KMeans(pts, 3, 100, prng.New(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,13 +199,13 @@ func TestKMeansErrors(t *testing.T) {
 }
 
 func TestKMeansDeterministic(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
+	rng := prng.New(3)
 	var pts []Point
 	for i := 0; i < 200; i++ {
 		pts = append(pts, Point{rng.Float64() * 100, rng.Float64() * 100})
 	}
-	a, _ := KMeans(pts, 5, 50, rand.New(rand.NewSource(11)))
-	b, _ := KMeans(pts, 5, 50, rand.New(rand.NewSource(11)))
+	a, _ := KMeans(pts, 5, 50, prng.New(11))
+	b, _ := KMeans(pts, 5, 50, prng.New(11))
 	if a.Inertia != b.Inertia || a.Iterations != b.Iterations {
 		t.Error("k-means not deterministic under fixed seed")
 	}
@@ -215,17 +215,17 @@ func TestKMeansDeterministic(t *testing.T) {
 // seed — assignments, centroids, inertia, and iteration count all match,
 // because shard boundaries and the partial-sum merge order are fixed.
 func TestKMeansParallelMatchesSequential(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
+	rng := prng.New(3)
 	var pts []Point
 	for i := 0; i < 2003; i++ {
 		pts = append(pts, Point{rng.Float64() * 100, rng.Float64() * 100})
 	}
-	want, err := KMeans(pts, 7, 60, rand.New(rand.NewSource(11)), par.Workers(1))
+	want, err := KMeans(pts, 7, 60, prng.New(11), par.Workers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 8} {
-		got, err := KMeans(pts, 7, 60, rand.New(rand.NewSource(11)), par.Workers(workers))
+		got, err := KMeans(pts, 7, 60, prng.New(11), par.Workers(workers))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -243,7 +243,7 @@ func TestKMeansParallelMatchesSequential(t *testing.T) {
 }
 
 func TestFindHotspotsMultiDensity(t *testing.T) {
-	rng := rand.New(rand.NewSource(9))
+	rng := prng.New(9)
 	var pts []Point
 	// Sparse region (x in [0,100)) with a modest hotspot at (50,50).
 	for i := 0; i < 100; i++ {
@@ -318,7 +318,7 @@ func TestFloorDiv(t *testing.T) {
 	}
 }
 
-func genTraining(rng *rand.Rand, n int) []TrainingExample {
+func genTraining(rng *prng.Rand, n int) []TrainingExample {
 	out := make([]TrainingExample, n)
 	for i := range out {
 		f := JobFeatures{
@@ -332,7 +332,7 @@ func genTraining(rng *rand.Rand, n int) []TrainingExample {
 }
 
 func TestBlockSizeModelLearnsOracle(t *testing.T) {
-	rng := rand.New(rand.NewSource(21))
+	rng := prng.New(21)
 	train := genTraining(rng, 400)
 	var m BlockSizeModel
 	if err := m.Fit(train, 1e-6); err != nil {
@@ -362,7 +362,7 @@ func TestBlockSizeModelLearnsOracle(t *testing.T) {
 // The BLEST-ML claim: estimated block sizes beat naive fixed defaults on
 // simulated runtime for most jobs.
 func TestEstimatedBlockSizeBeatsFixed(t *testing.T) {
-	rng := rand.New(rand.NewSource(33))
+	rng := prng.New(33)
 	var m BlockSizeModel
 	if err := m.Fit(genTraining(rng, 400), 1e-6); err != nil {
 		t.Fatal(err)
@@ -399,7 +399,7 @@ func TestBlockSizeModelErrors(t *testing.T) {
 	if err := m.Fit(nil, 0); err == nil {
 		t.Error("empty training set accepted")
 	}
-	if err := m.Fit(genTraining(rand.New(rand.NewSource(1)), 10), -1); err == nil {
+	if err := m.Fit(genTraining(prng.New(1), 10), -1); err == nil {
 		t.Error("negative lambda accepted")
 	}
 	bad := []TrainingExample{

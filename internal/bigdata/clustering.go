@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
+	prng "repro/internal/rng"
 	"sort"
 
 	"repro/internal/par"
@@ -64,7 +64,7 @@ const kmeansGrain = 256
 // centroid is chosen by squared distance (DistSq): argmin is
 // sqrt-invariant, and skipping Hypot in the k×n inner loop is the
 // difference between a sqrt-bound and a multiply-add-bound kernel.
-func KMeans(points []Point, k int, maxIter int, rng *rand.Rand, opts ...par.Option) (*KMeansResult, error) {
+func KMeans(points []Point, k int, maxIter int, rng *prng.Rand, opts ...par.Option) (*KMeansResult, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("bigdata: k = %d", k)
 	}
@@ -75,7 +75,7 @@ func KMeans(points []Point, k int, maxIter int, rng *rand.Rand, opts ...par.Opti
 		maxIter = 100
 	}
 	if rng == nil {
-		rng = rand.New(rand.NewSource(1))
+		rng = prng.New(1)
 	}
 	// Initialize with k distinct sample indices.
 	perm := rng.Perm(len(points))

@@ -14,7 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
+	prng "repro/internal/rng"
 )
 
 // Matrix is a dense row-major sample matrix (rows = samples).
@@ -31,7 +31,7 @@ type PCA struct {
 // FitPCA extracts the top-k principal components of X using power
 // iteration with deflation on the covariance operator. Deterministic under
 // the rng seed.
-func FitPCA(x Matrix, k int, rng *rand.Rand) (*PCA, error) {
+func FitPCA(x Matrix, k int, rng *prng.Rand) (*PCA, error) {
 	n := len(x)
 	if n < 2 {
 		return nil, errors.New("edgeml: need at least 2 samples")
@@ -46,7 +46,7 @@ func FitPCA(x Matrix, k int, rng *rand.Rand) (*PCA, error) {
 		}
 	}
 	if rng == nil {
-		rng = rand.New(rand.NewSource(1))
+		rng = prng.New(1)
 	}
 	// Center.
 	mean := make([]float64, d)
@@ -275,12 +275,12 @@ type Scene struct {
 // `classes` materials. Each class has a smooth spectral signature; pixels
 // are noisy observations of their class signature. The useful signal lives
 // in a low-dimensional subspace, which is why PCA preserves accuracy.
-func SyntheticScene(pixels, bands, classes int, noise float64, rng *rand.Rand) (*Scene, error) {
+func SyntheticScene(pixels, bands, classes int, noise float64, rng *prng.Rand) (*Scene, error) {
 	if pixels < classes || bands < 4 || classes < 2 {
 		return nil, fmt.Errorf("edgeml: invalid scene %d×%d×%d", pixels, bands, classes)
 	}
 	if rng == nil {
-		rng = rand.New(rand.NewSource(1))
+		rng = prng.New(1)
 	}
 	// Class signatures: sums of a few smooth cosine basis functions.
 	sigs := make(Matrix, classes)

@@ -2,13 +2,13 @@ package edgeml
 
 import (
 	"math"
-	"math/rand"
+	"repro/internal/rng"
 	"testing"
 )
 
 func scene(t *testing.T, pixels int) *Scene {
 	t.Helper()
-	s, err := SyntheticScene(pixels, 64, 4, 0.3, rand.New(rand.NewSource(3)))
+	s, err := SyntheticScene(pixels, 64, 4, 0.3, rng.New(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestFitPCAValidation(t *testing.T) {
 
 func TestPCARecoversDominantDirection(t *testing.T) {
 	// Data spread along (1,1)/√2 with small orthogonal noise.
-	rng := rand.New(rand.NewSource(4))
+	rng := rng.New(4)
 	var x Matrix
 	for i := 0; i < 300; i++ {
 		a := rng.NormFloat64() * 10
@@ -86,7 +86,7 @@ func TestPCARecoversDominantDirection(t *testing.T) {
 
 func TestTransformShape(t *testing.T) {
 	s := scene(t, 200)
-	p, err := FitPCA(s.X, 5, rand.New(rand.NewSource(1)))
+	p, err := FitPCA(s.X, 5, rng.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestPCAPreservesAccuracyAtFractionOfEnergy(t *testing.T) {
 
 	// PCA-reduced pipeline (k=6 of 64 bands).
 	const k = 6
-	p, err := FitPCA(train.X, k, rand.New(rand.NewSource(5)))
+	p, err := FitPCA(train.X, k, rng.New(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,11 +212,11 @@ func TestOpsCounters(t *testing.T) {
 
 func TestPCADeterministic(t *testing.T) {
 	s := scene(t, 200)
-	a, err := FitPCA(s.X, 3, rand.New(rand.NewSource(7)))
+	a, err := FitPCA(s.X, 3, rng.New(7))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := FitPCA(s.X, 3, rand.New(rand.NewSource(7)))
+	b, err := FitPCA(s.X, 3, rng.New(7))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,7 +13,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
+	prng "repro/internal/rng"
 
 	"repro/internal/stream"
 )
@@ -131,9 +131,9 @@ func (n *Node) Run(ctx context.Context, readings []Reading) (*Result, error) {
 // SensorTrace generates a synthetic smart-city trace: `sensors` sensors
 // each emitting `perSensor` readings around per-sensor baselines, with a
 // fraction of spurious outliers (the readings a sieve drops).
-func SensorTrace(sensors, perSensor int, outlierFrac float64, rng *rand.Rand) []Reading {
+func SensorTrace(sensors, perSensor int, outlierFrac float64, rng *prng.Rand) []Reading {
 	if rng == nil {
-		rng = rand.New(rand.NewSource(1))
+		rng = prng.New(1)
 	}
 	var out []Reading
 	for s := 0; s < sensors; s++ {

@@ -3,12 +3,12 @@ package fog
 import (
 	"context"
 	"math"
-	"math/rand"
+	"repro/internal/rng"
 	"testing"
 )
 
 func TestSensorTrace(t *testing.T) {
-	tr := SensorTrace(5, 100, 0.1, rand.New(rand.NewSource(2)))
+	tr := SensorTrace(5, 100, 0.1, rng.New(2))
 	if len(tr) != 500 {
 		t.Fatalf("trace = %d", len(tr))
 	}
@@ -27,7 +27,7 @@ func TestSensorTrace(t *testing.T) {
 		t.Errorf("glitches = %d, want roughly 10%%", glitches)
 	}
 	// Deterministic under seed.
-	tr2 := SensorTrace(5, 100, 0.1, rand.New(rand.NewSource(2)))
+	tr2 := SensorTrace(5, 100, 0.1, rng.New(2))
 	if tr2[0] != tr[0] || tr2[499] != tr[499] {
 		t.Error("trace not deterministic")
 	}
@@ -45,7 +45,7 @@ func TestNodeValidate(t *testing.T) {
 }
 
 func TestRunSievesAndAggregates(t *testing.T) {
-	tr := SensorTrace(4, 200, 0.05, rand.New(rand.NewSource(7)))
+	tr := SensorTrace(4, 200, 0.05, rng.New(7))
 	n := &Node{Sieve: GlitchSieve, WindowSize: 20, Workers: 4}
 	res, err := n.Run(context.Background(), tr)
 	if err != nil {
@@ -88,7 +88,7 @@ func TestRunSievesAndAggregates(t *testing.T) {
 // The SPF claim: forwarding aggregates instead of raw readings slashes
 // upstream bandwidth.
 func TestBandwidthReduction(t *testing.T) {
-	tr := SensorTrace(10, 500, 0.02, rand.New(rand.NewSource(3)))
+	tr := SensorTrace(10, 500, 0.02, rng.New(3))
 	n := &Node{Sieve: GlitchSieve, WindowSize: 50, Workers: 2}
 	res, err := n.Run(context.Background(), tr)
 	if err != nil {

@@ -2,7 +2,7 @@ package orchestrator
 
 import (
 	"fmt"
-	"math/rand"
+	"repro/internal/rng"
 	"testing"
 
 	"repro/internal/continuum"
@@ -11,7 +11,7 @@ import (
 
 func benchWorkflow(steps int) *workflow.Workflow {
 	wf := workflow.New("bench")
-	rng := rand.New(rand.NewSource(1))
+	rng := rng.New(1)
 	for i := 0; i < steps; i++ {
 		var after []string
 		if i > 0 && rng.Float64() < 0.6 {
@@ -31,7 +31,7 @@ func benchWorkflow(steps int) *workflow.Workflow {
 // BenchmarkPlace measures placement cost per policy on a 100-step workflow.
 func BenchmarkPlace(b *testing.B) {
 	wf := benchWorkflow(100)
-	for _, pol := range Policies(rand.New(rand.NewSource(2))) {
+	for _, pol := range Policies(rng.New(2)) {
 		b.Run(pol.Name(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				inf := continuum.Testbed()

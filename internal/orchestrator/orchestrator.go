@@ -18,10 +18,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 
 	"repro/internal/continuum"
+	"repro/internal/rng"
 	"repro/internal/workflow"
 )
 
@@ -109,18 +109,18 @@ func (RoundRobin) Place(wf *workflow.Workflow, inf *continuum.Infrastructure) (P
 	return p, nil
 }
 
-// Random places each step on a uniformly random feasible node. The rand
+// Random places each step on a uniformly random feasible node. The rng
 // source makes runs reproducible.
-type Random struct{ Rng *rand.Rand }
+type Random struct{ Rng *rng.Rand }
 
 // Name implements Policy.
 func (Random) Name() string { return "random" }
 
 // Place implements Policy.
 func (r Random) Place(wf *workflow.Workflow, inf *continuum.Infrastructure) (Placement, error) {
-	rng := r.Rng
-	if rng == nil {
-		rng = rand.New(rand.NewSource(1))
+	src := r.Rng
+	if src == nil {
+		src = rng.New(1)
 	}
 	p := Placement{}
 	for _, s := range wf.Steps() {
@@ -128,7 +128,7 @@ func (r Random) Place(wf *workflow.Workflow, inf *continuum.Infrastructure) (Pla
 		if len(cand) == 0 {
 			return nil, unplaceable(s)
 		}
-		p[s.ID] = cand[rng.Intn(len(cand))].ID
+		p[s.ID] = cand[src.Intn(len(cand))].ID
 	}
 	return p, nil
 }
@@ -369,8 +369,8 @@ func (HEFT) Place(wf *workflow.Workflow, inf *continuum.Infrastructure) (Placeme
 }
 
 // Policies returns the built-in policies in a stable order.
-func Policies(rng *rand.Rand) []Policy {
-	return []Policy{Random{Rng: rng}, RoundRobin{}, DataLocal{}, CostAware{}, EnergyAware{}, HEFT{}}
+func Policies(r *rng.Rand) []Policy {
+	return []Policy{Random{Rng: r}, RoundRobin{}, DataLocal{}, CostAware{}, EnergyAware{}, HEFT{}}
 }
 
 func min(a, b int) int {

@@ -2,7 +2,7 @@ package orchestrator
 
 import (
 	"fmt"
-	"math/rand"
+	"repro/internal/rng"
 	"testing"
 
 	"repro/internal/continuum"
@@ -34,7 +34,7 @@ func wideWF(n int) *workflow.Workflow {
 
 func TestPoliciesProduceValidPlacements(t *testing.T) {
 	wf := pipelineWF()
-	for _, pol := range Policies(rand.New(rand.NewSource(7))) {
+	for _, pol := range Policies(rng.New(7)) {
 		inf := continuum.Testbed()
 		p, err := pol.Place(wf, inf)
 		if err != nil {
@@ -50,7 +50,7 @@ func TestTierPinningRespected(t *testing.T) {
 	wf := workflow.New("pinned")
 	wf.MustAdd(workflow.Step{ID: "sense", Tier: "edge", WorkGFlop: 1})
 	wf.MustAdd(workflow.Step{ID: "crunch", Tier: "hpc", After: []string{"sense"}, WorkGFlop: 100, Cores: 32})
-	for _, pol := range Policies(rand.New(rand.NewSource(1))) {
+	for _, pol := range Policies(rng.New(1)) {
 		inf := continuum.Testbed()
 		p, err := pol.Place(wf, inf)
 		if err != nil {
@@ -187,7 +187,7 @@ func TestPlacementQualityOrdering(t *testing.T) {
 	schedules, err := Compare(
 		func() *workflow.Workflow { return wideWF(12) },
 		continuum.Testbed,
-		Policies(rand.New(rand.NewSource(42))),
+		Policies(rng.New(42)),
 	)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,115 @@
+package orchestrator
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/continuum"
+	"repro/internal/exp"
+	"repro/internal/workflow"
+)
+
+// This file adapts the sweep drivers to the unified experiment contract:
+// each sweep becomes an exp.Experiment whose Spec carries the sweep's
+// declarative parameters (policy, candidate grid, retry budget) and whose
+// body draws its injection seed from the Env and its worker pool from
+// env.ParOpts(). The rendered sweep table is the experiment artifact, so
+// worker-count invariance and warm-cache identity are byte-checkable.
+
+// FaultSweepExperiment wraps SweepFaults: makespan inflation under step
+// failures with retry-on-same-node recovery.
+func FaultSweepExperiment(name string, mkWf func() *workflow.Workflow,
+	mkInf func() *continuum.Infrastructure, pol Policy, probs []float64, maxRetries int) exp.Experiment {
+
+	return exp.Experiment{
+		Spec: exp.Spec{Name: name, Params: map[string]any{
+			"policy": pol.Name(), "probs": probs, "max_retries": maxRetries,
+		}},
+		Desc: "fault-injection sweep: failure probability vs makespan and retry count",
+		Run: func(ctx context.Context, env *exp.Env, spec exp.Spec) (*exp.Result, error) {
+			pts, err := SweepFaults(mkWf, mkInf, pol, probs, maxRetries, env.SeedFor(spec.Name), env.ParOpts()...)
+			if err != nil {
+				return nil, err
+			}
+			var b strings.Builder
+			metrics := map[string]float64{}
+			fmt.Fprintf(&b, "%-8s %10s %10s\n", "p(fail)", "makespan", "retries")
+			for _, pt := range pts {
+				fmt.Fprintf(&b, "%-8.1f %9.2fs %10d\n", pt.FailureProb, pt.Stats.Schedule.Makespan, pt.Stats.Failures)
+				metrics[fmt.Sprintf("makespan_s/p=%.1f", pt.FailureProb)] = pt.Stats.Schedule.Makespan
+				metrics[fmt.Sprintf("retries/p=%.1f", pt.FailureProb)] = float64(pt.Stats.Failures)
+			}
+			return &exp.Result{
+				Artifacts: map[string]string{"table": b.String()},
+				Metrics:   metrics,
+			}, nil
+		},
+	}
+}
+
+// ResumeSweepExperiment wraps SweepFaultsResume: the same fault grid, but
+// recovery restarts from the checkpoint journal instead of retrying hot.
+func ResumeSweepExperiment(name string, mkWf func() *workflow.Workflow,
+	mkInf func() *continuum.Infrastructure, pol Policy, probs []float64, maxRetries int) exp.Experiment {
+
+	return exp.Experiment{
+		Spec: exp.Spec{Name: name, Params: map[string]any{
+			"policy": pol.Name(), "probs": probs, "max_retries": maxRetries,
+		}},
+		Desc: "checkpoint/resume sweep: failure probability vs makespan with journal-based recovery",
+		Run: func(ctx context.Context, env *exp.Env, spec exp.Spec) (*exp.Result, error) {
+			pts, err := SweepFaultsResume(mkWf, mkInf, pol, probs, maxRetries, env.SeedFor(spec.Name), env.ParOpts()...)
+			if err != nil {
+				return nil, err
+			}
+			var b strings.Builder
+			metrics := map[string]float64{}
+			fmt.Fprintf(&b, "%-8s %10s %10s %10s\n", "p(fail)", "resume", "scratch", "saved")
+			for _, pt := range pts {
+				if pt.Stats == nil {
+					fmt.Fprintf(&b, "%-8.1f %10s %10s %10s\n", pt.FailureProb, "-", "-", "-")
+					continue
+				}
+				fmt.Fprintf(&b, "%-8.1f %9.2fs %9.2fs %9.2fs\n",
+					pt.FailureProb, pt.Stats.ResumeMakespan, pt.Stats.ScratchMakespan, pt.Stats.SavedS)
+				metrics[fmt.Sprintf("resume_s/p=%.1f", pt.FailureProb)] = pt.Stats.ResumeMakespan
+				metrics[fmt.Sprintf("saved_s/p=%.1f", pt.FailureProb)] = pt.Stats.SavedS
+			}
+			return &exp.Result{
+				Artifacts: map[string]string{"table": b.String()},
+				Metrics:   metrics,
+			}, nil
+		},
+	}
+}
+
+// SlackSweepExperiment wraps SweepSlack: the energy-vs-time Pareto front of
+// the EnergyDeadline policy across deadline-slack candidates.
+func SlackSweepExperiment(name string, mkWf func() *workflow.Workflow,
+	mkInf func() *continuum.Infrastructure, slacks []float64) exp.Experiment {
+
+	return exp.Experiment{
+		Spec: exp.Spec{Name: name, Params: map[string]any{"slacks": slacks}},
+		Desc: "energy-deadline sweep: deadline slack vs makespan and energy (Pareto front)",
+		Run: func(ctx context.Context, env *exp.Env, spec exp.Spec) (*exp.Result, error) {
+			scheds, err := SweepSlack(mkWf, mkInf, slacks, env.ParOpts()...)
+			if err != nil {
+				return nil, err
+			}
+			var b strings.Builder
+			metrics := map[string]float64{}
+			fmt.Fprintf(&b, "%-8s %10s %12s\n", "slack", "makespan", "energy")
+			for i, s := range scheds {
+				energy := s.DynamicEnergyJ + s.IdleEnergyJ
+				fmt.Fprintf(&b, "%-8.2f %9.2fs %11.0fJ\n", slacks[i], s.Makespan, energy)
+				metrics[fmt.Sprintf("makespan_s/slack=%.2f", slacks[i])] = s.Makespan
+				metrics[fmt.Sprintf("energy_j/slack=%.2f", slacks[i])] = energy
+			}
+			return &exp.Result{
+				Artifacts: map[string]string{"table": b.String()},
+				Metrics:   metrics,
+			}, nil
+		},
+	}
+}

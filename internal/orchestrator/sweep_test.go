@@ -1,7 +1,7 @@
 package orchestrator
 
 import (
-	"math/rand"
+	"repro/internal/rng"
 	"testing"
 
 	"repro/internal/continuum"
@@ -88,7 +88,7 @@ func TestCompareParallelMatchesSequential(t *testing.T) {
 		s, err := Compare(
 			func() *workflow.Workflow { return wideWF(12) },
 			continuum.Testbed,
-			Policies(rand.New(rand.NewSource(42))),
+			Policies(rng.New(42)),
 			par.Workers(workers),
 		)
 		if err != nil {

@@ -14,7 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
+	prng "repro/internal/rng"
 )
 
 // Signal describes the simulated grid waveform:
@@ -55,7 +55,7 @@ func (s *Signal) Validate() error {
 
 // Sample returns v(t) with deterministic noise drawn from rng (nil = no
 // noise regardless of NoiseStd).
-func (s *Signal) Sample(t float64, rng *rand.Rand) float64 {
+func (s *Signal) Sample(t float64, rng *prng.Rand) float64 {
 	v := s.Amplitude * math.Cos(2*math.Pi*s.Frequency*t+s.Phase)
 	for k, rel := range s.Harmonics {
 		v += s.Amplitude * rel * math.Cos(2*math.Pi*s.Frequency*float64(k)*t)
@@ -138,7 +138,7 @@ type Measurement struct {
 // Run samples the signal for `frames` consecutive one-cycle windows and
 // reports a measurement per window. Frequency is derived from consecutive
 // phase estimates; ROCOF from consecutive frequencies.
-func (e *Estimator) Run(sig *Signal, frames int, rng *rand.Rand) ([]Measurement, error) {
+func (e *Estimator) Run(sig *Signal, frames int, rng *prng.Rand) ([]Measurement, error) {
 	if err := e.Validate(); err != nil {
 		return nil, err
 	}
@@ -212,7 +212,7 @@ func (c DroopController) Adjust(m Measurement) float64 {
 // adjustment is applied to the signal before the next frame — the
 // hardware-in-the-loop pattern of the paper. It returns the measurement
 // trace and the final signal frequency.
-func (e *Estimator) RunHIL(sig *Signal, frames int, ctrl Controller, rng *rand.Rand) ([]Measurement, float64, error) {
+func (e *Estimator) RunHIL(sig *Signal, frames int, ctrl Controller, rng *prng.Rand) ([]Measurement, float64, error) {
 	if ctrl == nil {
 		return nil, 0, errors.New("pmu: nil controller")
 	}

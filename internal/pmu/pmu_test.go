@@ -2,7 +2,7 @@ package pmu
 
 import (
 	"math"
-	"math/rand"
+	"repro/internal/rng"
 	"testing"
 )
 
@@ -70,7 +70,7 @@ func TestPhasorEstimationWithHarmonicsAndNoise(t *testing.T) {
 	sig.NoiseStd = 1.0
 	e := nominalEstimator()
 	win := e.WindowSamples()
-	rng := rand.New(rand.NewSource(2))
+	rng := rng.New(2)
 	samples := make([]float64, win)
 	for i := range samples {
 		samples[i] = sig.Sample(float64(i)/e.SampleRate, rng)

@@ -2,8 +2,9 @@ package ppc
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
+
+	prng "repro/internal/rng"
 )
 
 // SyntheticCorpus generates a Software-Heritage-like corpus: nFamilies
@@ -11,9 +12,9 @@ import (
 // (clones with small edits — the redundancy PPC exploits), interleaved in a
 // shuffled order so that permutation quality matters. Deterministic under
 // the seed.
-func SyntheticCorpus(nFamilies, variantsPerFamily, approxFileSize int, rng *rand.Rand) []File {
+func SyntheticCorpus(nFamilies, variantsPerFamily, approxFileSize int, rng *prng.Rand) []File {
 	if rng == nil {
-		rng = rand.New(rand.NewSource(1))
+		rng = prng.New(1)
 	}
 	langs := []struct {
 		ext    string

@@ -2,7 +2,7 @@ package ppc
 
 import (
 	"context"
-	"math/rand"
+	"repro/internal/rng"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -10,7 +10,7 @@ import (
 
 func corpus(t *testing.T) []File {
 	t.Helper()
-	return SyntheticCorpus(10, 8, 2000, rand.New(rand.NewSource(42)))
+	return SyntheticCorpus(10, 8, 2000, rng.New(42))
 }
 
 func TestRoundTripAllPermutations(t *testing.T) {
@@ -182,8 +182,8 @@ func TestContentSketchGroupsSimilarFiles(t *testing.T) {
 }
 
 func TestSyntheticCorpusDeterministic(t *testing.T) {
-	a := SyntheticCorpus(3, 4, 500, rand.New(rand.NewSource(7)))
-	b := SyntheticCorpus(3, 4, 500, rand.New(rand.NewSource(7)))
+	a := SyntheticCorpus(3, 4, 500, rng.New(7))
+	b := SyntheticCorpus(3, 4, 500, rng.New(7))
 	if len(a) != len(b) || len(a) != 12 {
 		t.Fatalf("corpus sizes %d, %d", len(a), len(b))
 	}

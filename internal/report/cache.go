@@ -18,12 +18,33 @@ import (
 
 	"repro/internal/cas"
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/workflow"
 )
 
 // reportCacheVersion is folded into every section fingerprint; bump it
 // whenever a renderer changes so stale artifacts cannot be served.
-const reportCacheVersion = "report/v1"
+// v2: cache keys derive from the report Spec fingerprint and steps carry
+// section names instead of positional sec%02d IDs.
+const reportCacheVersion = "report/v2"
+
+// ExperimentName is the registry name of the full-report experiment.
+const ExperimentName = "report.full"
+
+// Spec returns the declarative identity of the full-report build: the
+// renderer version plus the study content fingerprint. Every cache key in
+// FullCached derives from this spec's fingerprint, so an edit to the corpus,
+// the votes, or the renderer recipe re-keys exactly what it invalidates.
+func Spec(s *core.Study) (exp.Spec, error) {
+	fp, err := StudyFingerprint(s)
+	if err != nil {
+		return exp.Spec{}, err
+	}
+	return exp.Spec{
+		Name:   ExperimentName,
+		Params: map[string]any{"version": reportCacheVersion, "study": fp},
+	}, nil
+}
 
 // StudyFingerprint returns the SHA-256 hex digest of the study's content:
 // the catalog JSON (the corpus) concatenated with a canonical rendering of
@@ -51,14 +72,14 @@ func StudyFingerprint(s *core.Study) (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
-// fullWorkflow builds the report-as-DAG: one step per section plus an
-// assemble step depending on all of them.
-func fullWorkflow(n int) (*workflow.Workflow, []string) {
-	wf := workflow.New("report.full")
-	ids := make([]string, n)
-	for i := 0; i < n; i++ {
-		ids[i] = fmt.Sprintf("sec%02d", i)
-		wf.MustAdd(workflow.Step{ID: ids[i]})
+// fullWorkflow builds the report-as-DAG: one step per named section plus
+// an assemble step depending on all of them.
+func fullWorkflow(secs []section) (*workflow.Workflow, []string) {
+	wf := workflow.New(ExperimentName)
+	ids := make([]string, len(secs))
+	for i, sec := range secs {
+		ids[i] = sec.ID
+		wf.MustAdd(workflow.Step{ID: sec.ID})
 	}
 	wf.MustAdd(workflow.Step{ID: "assemble", After: ids})
 	return wf, ids
@@ -71,22 +92,34 @@ func fullWorkflow(n int) (*workflow.Workflow, []string) {
 // over an unchanged study executes zero step bodies and returns bytes
 // identical to the cold build (Full produces the same bytes as well).
 func FullCached(s *core.Study, m *cas.Memo) (string, cas.RunStats, error) {
+	return FullCachedEnv(s, m, nil)
+}
+
+// FullCachedEnv is FullCached under an experiment environment: section
+// bodies run inside "report.section" spans on env (cache hits skip the body
+// and therefore the span — the trace shows exactly what re-rendered), and
+// every step key derives from the report Spec fingerprint.
+func FullCachedEnv(s *core.Study, m *cas.Memo, env *exp.Env) (string, cas.RunStats, error) {
 	var zero cas.RunStats
-	fp, err := StudyFingerprint(s)
+	spec, err := Spec(s)
+	if err != nil {
+		return "", zero, err
+	}
+	fp, err := spec.Fingerprint()
 	if err != nil {
 		return "", zero, err
 	}
 	secs := sections(s)
-	wf, ids := fullWorkflow(len(secs))
+	wf, ids := fullWorkflow(secs)
 
 	bodies := map[string]workflow.StepFunc{}
 	fingerprints := map[string]string{}
-	for i, id := range ids {
-		sec := secs[i]
-		bodies[id] = func(context.Context, map[string]any) (any, error) {
-			return sec()
+	for _, sec := range secs {
+		sec := sec
+		bodies[sec.ID] = func(context.Context, map[string]any) (any, error) {
+			return renderSection(env, sec)
 		}
-		fingerprints[id] = fmt.Sprintf("%s:%s:%s", reportCacheVersion, id, fp)
+		fingerprints[sec.ID] = fmt.Sprintf("%s:%s", fp, sec.ID)
 	}
 	bodies["assemble"] = func(_ context.Context, deps map[string]any) (any, error) {
 		var b strings.Builder
@@ -101,7 +134,7 @@ func FullCached(s *core.Study, m *cas.Memo) (string, cas.RunStats, error) {
 	}
 	// The assemble key already covers the section artifacts through its
 	// dep hashes; the fingerprint pins the concatenation code version.
-	fingerprints["assemble"] = reportCacheVersion + ":assemble"
+	fingerprints["assemble"] = fp + ":assemble"
 
 	r := &workflow.Runner{Clock: m.Clock}
 	out, err := m.Run(context.Background(), r, wf, bodies, fingerprints)

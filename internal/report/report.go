@@ -13,6 +13,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/charts"
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/par"
 )
 
@@ -193,12 +194,20 @@ func FigE1(s *core.Study) *charts.BarChart {
 	return c
 }
 
-// sections returns the report's render closures in the fixed section
-// order. Each is an independent pure read of the study — the unit of
-// parallelism for Full and the unit of caching for FullCached.
-func sections(s *core.Study) []func() (string, error) {
-	return []func() (string, error){
-		func() (string, error) {
+// section is one named unit of the report: the unit of parallelism for
+// Full, the unit of caching for FullCached, and the unit of telemetry for
+// both (each render is wrapped in a "report.section" span on the Env).
+type section struct {
+	// ID names the section in spans, cache keys and trace output. IDs are
+	// part of the cache-key recipe: renaming one invalidates its artifact.
+	ID     string
+	Render func() (string, error)
+}
+
+// sections returns the report's render closures in the fixed section order.
+func sections(s *core.Study) []section {
+	return []section{
+		{"protocol", func() (string, error) {
 			var b strings.Builder
 			b.WriteString("A Systematic Mapping Study of Italian Research on Workflows — reproduction report\n")
 			b.WriteString(strings.Repeat("=", 82) + "\n\n")
@@ -208,37 +217,37 @@ func sections(s *core.Study) []func() (string, error) {
 			}
 			fmt.Fprintf(&b, "\nDataset: %s\n\n", s.Catalog)
 			return b.String(), nil
-		},
-		func() (string, error) { return Fig1(s) + "\n", nil },
-		func() (string, error) {
+		}},
+		{"fig1", func() (string, error) { return Fig1(s) + "\n", nil }},
+		{"table1", func() (string, error) {
 			t1, err := Table1(s).ASCII()
 			if err != nil {
 				return "", fmt.Errorf("report: table 1: %w", err)
 			}
 			return t1 + "\n", nil
-		},
-		func() (string, error) {
+		}},
+		{"fig2", func() (string, error) {
 			f2, err := Fig2(s).ASCII(40)
 			if err != nil {
 				return "", fmt.Errorf("report: figure 2: %w", err)
 			}
 			return f2 + "\n", nil
-		},
-		func() (string, error) {
+		}},
+		{"fig3", func() (string, error) {
 			f3, err := Fig3(s).ASCII()
 			if err != nil {
 				return "", fmt.Errorf("report: figure 3: %w", err)
 			}
 			return f3 + "\n", nil
-		},
-		func() (string, error) {
+		}},
+		{"table2", func() (string, error) {
 			t2, err := Table2(s).ASCII()
 			if err != nil {
 				return "", fmt.Errorf("report: table 2: %w", err)
 			}
 			return t2 + "\n", nil
-		},
-		func() (string, error) {
+		}},
+		{"fig4", func() (string, error) {
 			fig4, err := Fig4(s)
 			if err != nil {
 				return "", err
@@ -248,8 +257,8 @@ func sections(s *core.Study) []func() (string, error) {
 				return "", fmt.Errorf("report: figure 4: %w", err)
 			}
 			return f4 + "\n", nil
-		},
-		func() (string, error) {
+		}},
+		{"discussion", func() (string, error) {
 			answers, err := s.Answers()
 			if err != nil {
 				return "", err
@@ -263,20 +272,20 @@ func sections(s *core.Study) []func() (string, error) {
 				}
 			}
 			return b.String(), nil
-		},
-		func() (string, error) {
+		}},
+		{"validation", func() (string, error) {
 			cm := core.EvaluateClassifier(s.Catalog)
 			return fmt.Sprintf("\nClassification validation (keyword classifier vs manual labels): accuracy %.0f%%\n%s",
 				cm.Accuracy()*100, cm), nil
-		},
-		func() (string, error) {
+		}},
+		{"maturity", func() (string, error) {
 			var b strings.Builder
 			b.WriteString("\nExtension: tool maturity (reference publication recency)\n")
 			for _, line := range s.MaturitySummary() {
 				fmt.Fprintf(&b, "  - %s\n", line)
 			}
 			return b.String(), nil
-		},
+		}},
 	}
 }
 
@@ -286,14 +295,25 @@ func sections(s *core.Study) []func() (string, error) {
 // par worker pool and are concatenated in the fixed section order — the
 // output is byte-identical for any par.Workers(n).
 func Full(s *core.Study, opts ...par.Option) (string, error) {
+	return FullEnv(s, nil, opts...)
+}
+
+// FullEnv is Full under an experiment environment: each section render is
+// wrapped in a "report.section" span on env (so TraceText shows per-section
+// timings), and env's par options seed the worker pool. A nil env renders
+// exactly like Full.
+func FullEnv(s *core.Study, env *exp.Env, opts ...par.Option) (string, error) {
 	secs := sections(s)
+	if env != nil {
+		opts = append(append([]par.Option(nil), env.ParOpts()...), opts...)
+	}
 	// One shard per section: each renders independently, and the string
 	// concatenation merge preserves the fixed section order. Grain(1): a
 	// section render is orders of magnitude heavier than the par handoff.
 	return par.MapReduceN(len(secs), func(_, lo, hi int) (string, error) {
 		var b strings.Builder
 		for i := lo; i < hi; i++ {
-			sec, err := secs[i]()
+			sec, err := renderSection(env, secs[i])
 			if err != nil {
 				return "", err
 			}
@@ -301,4 +321,15 @@ func Full(s *core.Study, opts ...par.Option) (string, error) {
 		}
 		return b.String(), nil
 	}, func(a, b string) string { return a + b }, append([]par.Option{par.Grain(1)}, opts...)...)
+}
+
+// renderSection runs one section render inside its telemetry span.
+func renderSection(env *exp.Env, sec section) (string, error) {
+	if env == nil {
+		return sec.Render()
+	}
+	sp := env.StartSpan("report.section", sec.ID)
+	out, err := sec.Render()
+	sp.End(err)
+	return out, err
 }

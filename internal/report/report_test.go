@@ -1,12 +1,17 @@
 package report
 
 import (
+	"context"
 	"os"
 	"strings"
 	"testing"
 
+	"repro/internal/cas"
+	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/par"
+	"repro/internal/telemetry"
 )
 
 func study(t *testing.T) *core.Study {
@@ -289,5 +294,105 @@ func TestFigE1(t *testing.T) {
 	// Contiguous year axis.
 	if c.Bars[0].Label != "2017" || c.Bars[len(c.Bars)-1].Label != "2023" {
 		t.Errorf("year range %s..%s", c.Bars[0].Label, c.Bars[len(c.Bars)-1].Label)
+	}
+}
+
+// Satellite fix: per-section telemetry is no longer swallowed — TraceText
+// shows one "report.section" span per section under FullEnv, and under
+// FullCachedEnv the cold build spans every section while the warm build
+// spans none (hits skip the render bodies entirely).
+func TestSectionSpansVisibleInTrace(t *testing.T) {
+	s := study(t)
+	sectionIDs := []string{
+		"protocol", "fig1", "table1", "fig2", "fig3",
+		"table2", "fig4", "discussion", "validation", "maturity",
+	}
+
+	sim := clock.NewSim(1)
+	env := &exp.Env{Clock: sim, Metrics: telemetry.NewWithClock(sim)}
+	plain, err := Full(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := FullEnv(s, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != plain {
+		t.Fatal("FullEnv bytes diverge from Full")
+	}
+	trace := env.Metrics.TraceText()
+	for _, id := range sectionIDs {
+		if !strings.Contains(trace, "report.section") || !strings.Contains(trace, id) {
+			t.Errorf("FullEnv trace missing section %s:\n%s", id, trace)
+		}
+	}
+
+	sim2 := clock.NewSim(2)
+	cold := &exp.Env{Clock: sim2, Metrics: telemetry.NewWithClock(sim2)}
+	m := &cas.Memo{Store: cas.NewMemStore(), Clock: sim2, Metrics: cold.Metrics}
+	cached, _, err := FullCachedEnv(s, m, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached != plain {
+		t.Fatal("FullCachedEnv bytes diverge from Full")
+	}
+	coldTrace := cold.Metrics.TraceText()
+	for _, id := range sectionIDs {
+		if !strings.Contains(coldTrace, "report.section") || !strings.Contains(coldTrace, id) {
+			t.Errorf("cold FullCachedEnv trace missing section %s", id)
+		}
+	}
+
+	sim3 := clock.NewSim(3)
+	warm := &exp.Env{Clock: sim3, Metrics: telemetry.NewWithClock(sim3)}
+	m.Clock, m.Metrics = sim3, warm.Metrics
+	rewarm, stats, err := FullCachedEnv(s, m, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rewarm != plain {
+		t.Fatal("warm FullCachedEnv bytes diverge from Full")
+	}
+	if stats.Executed != 0 {
+		t.Fatalf("warm rebuild executed %d bodies", stats.Executed)
+	}
+	if strings.Contains(warm.Metrics.TraceText(), "report.section") {
+		t.Error("warm rebuild rendered a section (span emitted on a hit)")
+	}
+}
+
+// The report experiment produces the same bytes as Full through both the
+// cached and uncached paths.
+func TestReportExperiment(t *testing.T) {
+	s := study(t)
+	e, err := Experiment(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := exp.NewRegistry()
+	if err := reg.Register(e); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Full(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &exp.Env{Seed: 3, Clock: clock.NewSim(1)}
+	res, err := reg.Run(context.Background(), env, ExperimentName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Artifacts["report.txt"] != plain {
+		t.Error("uncached experiment bytes diverge from Full")
+	}
+	env.Store = cas.NewMemStore()
+	res, err = reg.Run(context.Background(), env, ExperimentName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Artifacts["report.txt"] != plain {
+		t.Error("cached experiment bytes diverge from Full")
 	}
 }

@@ -1,0 +1,67 @@
+package scenarios
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+// Slug renders a scenario's stable experiment name: "scenario/<app>/<tool>"
+// with the tool lowercased and non-alphanumeric runs collapsed to "-"
+// ("Jupyter Workflow" → "jupyter-workflow", "Mingotti et al." →
+// "mingotti-et-al"). Names are what -list prints and -run accepts, so they
+// must never change once published.
+func Slug(app, tool string) string {
+	var b strings.Builder
+	dash := false
+	for _, r := range strings.ToLower(tool) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			if dash && b.Len() > 0 {
+				b.WriteByte('-')
+			}
+			dash = false
+			b.WriteRune(r)
+		default:
+			dash = true
+		}
+	}
+	return "scenario/" + app + "/" + b.String()
+}
+
+// Experiments adapts every Table 2 scenario to the unified experiment
+// contract: one exp.Experiment per checkmark, named by Slug, parameterized
+// by its (app, tool) coordinates, spanned per scenario on the shared Env.
+// A scenario's Result records only that its assertions held — the value of
+// the experiment is the green checkmark itself.
+func Experiments() []exp.Experiment {
+	scns := Registry()
+	out := make([]exp.Experiment, 0, len(scns))
+	for _, s := range scns {
+		s := s
+		out = append(out, exp.Experiment{
+			Spec: exp.Spec{
+				Name:   Slug(s.App, s.Tool),
+				Params: map[string]any{"app": s.App, "tool": s.Tool},
+			},
+			App:  s.App,
+			Tool: s.Tool,
+			Desc: s.Desc,
+			Run: func(ctx context.Context, env *exp.Env, spec exp.Spec) (*exp.Result, error) {
+				sp := env.StartSpan("scenario", s.Key())
+				err := s.Run(ctx, env)
+				sp.End(err)
+				if err != nil {
+					return nil, fmt.Errorf("%s (%s): %w", s.Key(), s.Desc, err)
+				}
+				return &exp.Result{
+					Artifacts: map[string]string{"status": "pass"},
+					Metrics:   map[string]float64{"pass": 1},
+				}, nil
+			},
+		})
+	}
+	return out
+}

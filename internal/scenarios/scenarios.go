@@ -12,8 +12,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"strings"
+
+	"repro/internal/exp"
 
 	"repro/internal/bigdata"
 	"repro/internal/capio"
@@ -27,18 +28,19 @@ import (
 	"repro/internal/orchestrator"
 	"repro/internal/pmu"
 	"repro/internal/ppc"
-	"repro/internal/rng"
 	"repro/internal/stream"
 	"repro/internal/workflow"
 	"repro/internal/worldmodel"
 )
 
-// Scenario is one executable Table 2 checkmark.
+// Scenario is one executable Table 2 checkmark. The body receives the
+// shared experiment environment and must follow its determinism
+// obligations: every random stream derives from env.Rng, never math/rand.
 type Scenario struct {
 	App  string // application ID, e.g. "3.1"
 	Tool string // tool name as in the catalog
 	Desc string
-	Run  func(ctx context.Context) error
+	Run  func(ctx context.Context, env *exp.Env) error
 }
 
 // Key renders "app×tool".
@@ -50,8 +52,8 @@ func Registry() []Scenario {
 		// --- 3.1 Compression of petascale collections --------------------
 		{App: "3.1", Tool: "FastFlow",
 			Desc: "stream-parallel PPC: the farmed compressor matches the sequential archive byte for byte",
-			Run: func(ctx context.Context) error {
-				files := ppc.SyntheticCorpus(6, 6, 1200, rand.New(rand.NewSource(1)))
+			Run: func(ctx context.Context, env *exp.Env) error {
+				files := ppc.SyntheticCorpus(6, 6, 1200, env.Rng("3.1/FastFlow/corpus"))
 				seq, err := ppc.Compress(ctx, files, ppc.ByName{}, ppc.Options{BlockSize: 8 << 10, Workers: 1})
 				if err != nil {
 					return err
@@ -67,8 +69,8 @@ func Registry() []Scenario {
 			}},
 		{App: "3.1", Tool: "ParSoDA",
 			Desc: "parallel sorting/grouping phase: files grouped by project via the data-analysis pipeline",
-			Run: func(ctx context.Context) error {
-				files := ppc.SyntheticCorpus(5, 4, 600, rand.New(rand.NewSource(2)))
+			Run: func(ctx context.Context, env *exp.Env) error {
+				files := ppc.SyntheticCorpus(5, 4, 600, env.Rng("3.1/ParSoDA/corpus"))
 				p := bigdata.NewPipeline[ppc.File, string](4).
 					Map(func(f ppc.File) (string, error) { return f.Name, nil }).
 					GroupBy(func(name string) string { return strings.SplitN(name, "/", 2)[0] })
@@ -83,8 +85,8 @@ func Registry() []Scenario {
 			}},
 		{App: "3.1", Tool: "WindFlow",
 			Desc: "streaming semantics for intra-node phases: windowed throughput accounting over block sizes",
-			Run: func(ctx context.Context) error {
-				files := ppc.SyntheticCorpus(4, 8, 800, rand.New(rand.NewSource(3)))
+			Run: func(ctx context.Context, env *exp.Env) error {
+				files := ppc.SyntheticCorpus(4, 8, 800, env.Rng("3.1/WindFlow/corpus"))
 				src := stream.FromSlice(ctx, files)
 				keyed := stream.KeyBy(ctx, src, func(f ppc.File) string {
 					return strings.SplitN(f.Name, "/", 2)[0]
@@ -109,7 +111,7 @@ func Registry() []Scenario {
 		// --- 3.2 VisIVO --------------------------------------------------
 		{App: "3.2", Tool: "ICS",
 			Desc: "interactive HPC access: a reserved visualization session starts at its reservation",
-			Run: func(ctx context.Context) error {
+			Run: func(ctx context.Context, env *exp.Env) error {
 				cl, err := interactive.NewCluster(64)
 				if err != nil {
 					return err
@@ -136,7 +138,7 @@ func Registry() []Scenario {
 			}},
 		{App: "3.2", Tool: "Jupyter Workflow",
 			Desc: "VisIVO importing/filtering/viewing cells compile to a valid DAG",
-			Run: func(ctx context.Context) error {
+			Run: func(ctx context.Context, env *exp.Env) error {
 				nb := &interactive.Notebook{Name: "visivo", Cells: []interactive.Cell{
 					{ID: "import", Code: "import visivo\ndata = visivo.load('cube.fits')"},
 					{ID: "filter", Code: "small = data.decimate()"},
@@ -157,7 +159,7 @@ func Registry() []Scenario {
 			}},
 		{App: "3.2", Tool: "StreamFlow",
 			Desc: "hybrid placement of the VisIVO workflow across HPC and cloud",
-			Run: func(ctx context.Context) error {
+			Run: func(ctx context.Context, env *exp.Env) error {
 				wf := workflow.New("visivo")
 				wf.MustAdd(workflow.Step{ID: "import", WorkGFlop: 100, OutputBytes: 500e6})
 				wf.MustAdd(workflow.Step{ID: "filter", After: []string{"import"}, WorkGFlop: 3000, Cores: 32, Tier: "hpc", OutputBytes: 100e6})
@@ -180,7 +182,7 @@ func Registry() []Scenario {
 		// --- 3.3 Genomic variant calling ----------------------------------
 		{App: "3.3", Tool: "StreamFlow",
 			Desc: "the pipeline runs remotely on HPC with fast provisioning (placement honours the pin)",
-			Run: func(ctx context.Context) error {
+			Run: func(ctx context.Context, env *exp.Env) error {
 				wf := workflow.New("variant-calling")
 				wf.MustAdd(workflow.Step{ID: "align", WorkGFlop: 2000, Cores: 16, Tier: "hpc", OutputBytes: 1e9})
 				wf.MustAdd(workflow.Step{ID: "call", After: []string{"align"}, WorkGFlop: 800, Cores: 8, Tier: "hpc"})
@@ -219,7 +221,7 @@ func Registry() []Scenario {
 		// --- 3.5 Serverledge ----------------------------------------------
 		{App: "3.5", Tool: "MoveQUIC",
 			Desc: "live migration of a long-running function pays off when work remains",
-			Run: func(ctx context.Context) error {
+			Run: func(ctx context.Context, env *exp.Env) error {
 				p := faas.NewPlatform(continuum.EdgeCloudTestbed(), faas.EdgeFirst{})
 				if err := p.Deploy(faas.Function{Name: "long", WorkGFlop: 500, Class: faas.Batch, DeadlineS: 100, StateBytes: 10e6}); err != nil {
 					return err
@@ -235,11 +237,11 @@ func Registry() []Scenario {
 			}},
 		{App: "3.5", Tool: "PESOS",
 			Desc: "energy-efficient FaaS orchestration uses less energy than cloud-only",
-			Run: func(ctx context.Context) error {
+			Run: func(ctx context.Context, env *exp.Env) error {
 				fns := []faas.Function{
 					{Name: "f", WorkGFlop: 1, Class: faas.LowLatency, DeadlineS: 2, StateBytes: 1e6},
 				}
-				trace := faas.PoissonTrace(fns, 10, 30, rng.New(9))
+				trace := faas.PoissonTrace(fns, 10, 30, env.Rng("3.5/PESOS/trace"))
 				results, _, err := faas.CompareSchedulers(fns, trace, continuum.EdgeCloudTestbed,
 					[]faas.Scheduler{faas.EnergyAware{}, faas.CloudOnly{}})
 				if err != nil {
@@ -258,7 +260,7 @@ func Registry() []Scenario {
 			Run:  fastPathScenario},
 		{App: "3.6", Tool: "CAPIO",
 			Desc: "FLASH→SYGMA streaming overlap beats staged exchange",
-			Run: func(ctx context.Context) error {
+			Run: func(ctx context.Context, env *exp.Env) error {
 				m := capio.CouplingModel{Chunks: 100, ProduceS: 0.5, TransferS: 0.1, ConsumeS: 0.4}
 				ov, err := m.Overlap()
 				if err != nil {
@@ -273,7 +275,7 @@ func Registry() []Scenario {
 		// --- 3.7 WorldDynamics ---------------------------------------------
 		{App: "3.7", Tool: "Jupyter Workflow",
 			Desc: "model cells (parameters → run → analyze) compile to a distributed DAG",
-			Run: func(ctx context.Context) error {
+			Run: func(ctx context.Context, env *exp.Env) error {
 				nb := &interactive.Notebook{Name: "worlddyn", Cells: []interactive.Cell{
 					{ID: "params", Code: "import worlddynamics\ncfg = worlddynamics.defaults()"},
 					{ID: "run", Code: "traj = cfg.integrate()"},
@@ -290,7 +292,7 @@ func Registry() []Scenario {
 			}},
 		{App: "3.7", Tool: "BDMaaS+",
 			Desc: "parallel what-if simulation of scenarios via policy comparison",
-			Run: func(ctx context.Context) error {
+			Run: func(ctx context.Context, env *exp.Env) error {
 				m := worldmodel.Demo()
 				for _, depl := range []float64{0.001, 0.002, 0.004} {
 					if _, err := m.Run(0, 200, 0.5, map[string]float64{"depletion_rate": depl}); err != nil {
@@ -301,7 +303,7 @@ func Registry() []Scenario {
 			}},
 		{App: "3.7", Tool: "aMLLibrary",
 			Desc: "regression-based model discovery over trajectory data",
-			Run: func(ctx context.Context) error {
+			Run: func(ctx context.Context, env *exp.Env) error {
 				m := worldmodel.Demo()
 				tr, err := m.Run(0, 200, 0.5, nil)
 				if err != nil {
@@ -320,7 +322,7 @@ func Registry() []Scenario {
 			}},
 		{App: "3.7", Tool: "Mingotti et al.",
 			Desc: "virtual PMU supplies fine-grained measurements as a new data source",
-			Run: func(ctx context.Context) error {
+			Run: func(ctx context.Context, env *exp.Env) error {
 				e := &pmu.Estimator{SampleRate: 10000, NominalHz: 50}
 				sig := &pmu.Signal{Amplitude: 325, Frequency: 50.1, Phase: 0}
 				ms, err := e.Run(sig, 8, nil)
@@ -342,7 +344,7 @@ func Registry() []Scenario {
 			Run:  federationScenario},
 		{App: "3.8", Tool: "BDMaaS+",
 			Desc: "what-if placement optimization picks the cheapest viable deployment",
-			Run: func(ctx context.Context) error {
+			Run: func(ctx context.Context, env *exp.Env) error {
 				mkWf := func() *workflow.Workflow {
 					wf := workflow.New("svc")
 					wf.MustAdd(workflow.Step{ID: "api", WorkGFlop: 50, Tier: "cloud", OutputBytes: 10e6})
@@ -372,7 +374,7 @@ func Registry() []Scenario {
 		// --- 3.9 DivExplorer -----------------------------------------------
 		{App: "3.9", Tool: "ICS",
 			Desc: "subgroup analysis reachable from a booked interactive session",
-			Run: func(ctx context.Context) error {
+			Run: func(ctx context.Context, env *exp.Env) error {
 				cal, err := interactive.NewCalendar(16, 1)
 				if err != nil {
 					return err
@@ -392,7 +394,7 @@ func Registry() []Scenario {
 			}},
 		{App: "3.9", Tool: "ParSoDA",
 			Desc: "parallel per-subgroup reduction via the data-analysis pipeline",
-			Run: func(ctx context.Context) error {
+			Run: func(ctx context.Context, env *exp.Env) error {
 				rows := make([]int, 1000)
 				for i := range rows {
 					rows[i] = i
@@ -417,8 +419,8 @@ func Registry() []Scenario {
 			}},
 		{App: "3.9", Tool: "aMLLibrary",
 			Desc: "model comparison and selection for the regression task",
-			Run: func(ctx context.Context) error {
-				rng := rand.New(rand.NewSource(4))
+			Run: func(ctx context.Context, env *exp.Env) error {
+				rng := env.Rng("3.9/aMLLibrary/data")
 				var xs [][]float64
 				var ys []float64
 				for i := 0; i < 120; i++ {
@@ -443,7 +445,7 @@ func Registry() []Scenario {
 		// --- 3.10 RISC-V compilation flow ------------------------------------
 		{App: "3.10", Tool: "StreamFlow",
 			Desc: "the optimization passes run as an orchestrated workflow",
-			Run: func(ctx context.Context) error {
+			Run: func(ctx context.Context, env *exp.Env) error {
 				m := mlir.AXPY("axpy", 32, 3)
 				passes := []mlir.Pass{mlir.ConstFold{}, mlir.DCE{}, mlir.LowerTensorToLoop{}, mlir.LoopFusion{}, mlir.LowerLoopToRV{}}
 				wf := workflow.New("mlir-pipeline")
@@ -470,7 +472,7 @@ func Registry() []Scenario {
 			}},
 		{App: "3.10", Tool: "MLIR",
 			Desc: "progressive lowering to the RISC-V dialect preserves semantics",
-			Run: func(ctx context.Context) error {
+			Run: func(ctx context.Context, env *exp.Env) error {
 				const n = 16
 				inputs := map[string][]float64{"%x": make([]float64, n), "%y": make([]float64, n)}
 				for i := 0; i < n; i++ {
@@ -502,7 +504,7 @@ func Registry() []Scenario {
 
 // Shared scenario bodies for tools selected by several applications.
 
-func fastPathScenario(ctx context.Context) error {
+func fastPathScenario(ctx context.Context, env *exp.Env) error {
 	f := netlink.NewFabric()
 	if _, err := f.Attach("app"); err != nil {
 		return err
@@ -531,7 +533,7 @@ func fastPathScenario(ctx context.Context) error {
 	return nil
 }
 
-func capioStoreScenario(ctx context.Context) error {
+func capioStoreScenario(ctx context.Context, env *exp.Env) error {
 	s := capio.NewStore()
 	w, err := s.Create("pipeline/out.dat")
 	if err != nil {
@@ -560,7 +562,7 @@ func capioStoreScenario(ctx context.Context) error {
 	return <-done
 }
 
-func blueprintScenario(ctx context.Context) error {
+func blueprintScenario(ctx context.Context, env *exp.Env) error {
 	js := `{"name":"svc","components":[
 	  {"name":"front","type":"container","gflop":10,"tier":"cloud"},
 	  {"name":"worker","type":"job","gflop":500,"cores":4,"depends_on":["front"]}]}`
@@ -585,7 +587,7 @@ func blueprintScenario(ctx context.Context) error {
 	return err
 }
 
-func federationScenario(ctx context.Context) error {
+func federationScenario(ctx context.Context, env *exp.Env) error {
 	a := orchestrator.NewCluster("local", continuum.EdgeCloudTestbed())
 	b := orchestrator.NewCluster("remote", continuum.Testbed())
 	if err := a.Peer(b, 64); err != nil {
@@ -598,7 +600,7 @@ func federationScenario(ctx context.Context) error {
 	return a.Return("remote", grants)
 }
 
-func migrationScenario(ctx context.Context) error {
+func migrationScenario(ctx context.Context, env *exp.Env) error {
 	f := netlink.NewFabric()
 	for _, ep := range []string{"client", "edge-a", "edge-b"} {
 		if _, err := f.Attach(ep); err != nil {

@@ -5,6 +5,9 @@ import (
 	"testing"
 
 	"repro/internal/catalog"
+	"repro/internal/clock"
+	"repro/internal/exp"
+	"repro/internal/telemetry"
 )
 
 // The headline completeness claim: the registry covers exactly the 28
@@ -19,16 +22,59 @@ func TestRegistryMatchesTable2(t *testing.T) {
 	}
 }
 
-// Every scenario runs green.
+// Every scenario runs green under a shared simulated environment.
 func TestAllScenariosRun(t *testing.T) {
+	sim := clock.NewSim(1)
+	env := &exp.Env{Seed: 1, Clock: sim, Metrics: telemetry.NewWithClock(sim)}
 	for _, s := range Registry() {
 		s := s
 		t.Run(s.Key(), func(t *testing.T) {
 			t.Parallel()
-			if err := s.Run(context.Background()); err != nil {
+			if err := s.Run(context.Background(), env); err != nil {
 				t.Fatalf("%s (%s): %v", s.Key(), s.Desc, err)
 			}
 		})
+	}
+}
+
+// The experiment adapters expose exactly the scenarios, with stable
+// distinct names, and pass under a shared Env through the registry.
+func TestExperimentsMirrorScenarios(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != len(Registry()) {
+		t.Fatalf("%d experiments for %d scenarios", len(exps), len(Registry()))
+	}
+	reg := exp.NewRegistry()
+	for _, e := range exps {
+		if err := reg.Register(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim := clock.NewSim(2)
+	env := &exp.Env{Seed: 7, Clock: sim, Metrics: telemetry.NewWithClock(sim)}
+	results, err := reg.RunAll(context.Background(), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Artifacts["status"] != "pass" {
+			t.Fatalf("experiment %s did not pass", r.Provenance.Experiment)
+		}
+	}
+}
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		Slug("3.1", "FastFlow"):         "scenario/3.1/fastflow",
+		Slug("3.2", "Jupyter Workflow"): "scenario/3.2/jupyter-workflow",
+		Slug("3.7", "Mingotti et al."):  "scenario/3.7/mingotti-et-al",
+		Slug("3.4", "MoveQUIC"):         "scenario/3.4/movequic",
+		Slug("3.8", "BDMaaS+"):          "scenario/3.8/bdmaas",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("Slug = %q, want %q", got, want)
+		}
 	}
 }
 
