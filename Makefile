@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race audit clockgate randgate experiments bench bench-compare bench-kernels bench-gate bench-cache artifacts examples outputs clean
+.PHONY: all build vet test race audit clockgate randgate experiments bench bench-compare bench-kernels bench-gate bench-cache bench-events artifacts examples outputs clean
 
 # audit (vet + race + clock gate + rand gate) is part of all: the parallel
 # substrate (internal/par) and every hot path wired onto it must stay clean
@@ -12,8 +12,9 @@ GO ?= go
 # experiments runs every registered experiment under clock.Sim;
 # bench-cache records the cold-vs-warm content-addressed report build;
 # bench-gate re-measures the kernel benchmarks and fails the build if any
-# regresses >10% ns/op against the committed BENCH_kernels.json baseline.
-all: build test audit experiments bench-cache bench-gate
+# regresses >10% ns/op against the committed BENCH_kernels.json baseline;
+# bench-events records the event-engine and million-event sweep benchmarks.
+all: build test audit experiments bench-cache bench-gate bench-events
 
 build:
 	$(GO) build ./...
@@ -113,8 +114,21 @@ bench-kernels:
 bench-gate:
 	$(GO) test -run '^$$' -bench '$(KERNEL_BENCH_RE)' -benchmem -count 5 $(KERNEL_BENCH_PKGS) | tee bench_gate.txt
 	$(BENCH_TO_JSON) bench_gate.txt > bench_gate_head.json
-	$(GO) run ./cmd/benchdiff -threshold 0.10 BENCH_kernels.json bench_gate_head.json
+	$(GO) run ./cmd/benchdiff -threshold 0.10 -alloc-threshold 0.10 BENCH_kernels.json bench_gate_head.json
 	@rm -f bench_gate.txt bench_gate_head.json
+
+# The discrete-event engine and million-event sweep benchmarks: the engine
+# hot loop (Push/Pop must stay allocation-free), the 1M-event Reset/reuse
+# cycle, cancel-heavy compaction, and the 512-candidate × 420-step fault
+# sweep that exercises the compiled-schedule + pooled-scratch path end to
+# end. Recorded as BENCH_events.json in the benchdiff record format.
+EVENT_BENCH_RE = (EngineMillionEvents|EnginePushPop|EngineCancelHeavy|FaultSweepLarge(Seq)?)$$
+EVENT_BENCH_PKGS = ./internal/continuum ./internal/orchestrator
+
+bench-events:
+	$(GO) test -run '^$$' -bench '$(EVENT_BENCH_RE)' -benchmem $(EVENT_BENCH_PKGS) | tee bench_events.txt
+	$(BENCH_TO_JSON) bench_events.txt > BENCH_events.json
+	@echo wrote BENCH_events.json
 
 # Benchmark the content-addressed report build, cold (fresh store: every
 # section renders) vs warm (primed store: zero step bodies execute), and
@@ -158,4 +172,4 @@ outputs:
 clean:
 	rm -rf artifacts/ test_output.txt bench_output.txt bench_par.txt BENCH_par.json \
 		bench_kernels.txt BENCH_kernels.json bench_cas.txt BENCH_cas.json \
-		bench_gate.txt bench_gate_head.json
+		bench_gate.txt bench_gate_head.json bench_events.txt BENCH_events.json

@@ -6,12 +6,15 @@
 //
 // Usage:
 //
-//	benchdiff [-threshold 0.10] baseline.json current.json
+//	benchdiff [-threshold 0.10] [-alloc-threshold 0.10] baseline.json current.json
 //
 // A benchmark regresses when current ns/op exceeds baseline ns/op by more
-// than the threshold fraction, or allocs/op does the same with one alloc of
-// absolute slack (sync.Pool warm-up makes allocs/op jitter by ±1 between
-// runs; a real leak moves it by orders of magnitude). Benchmark names are
+// than the threshold fraction, or allocs/op exceeds its own threshold
+// (-alloc-threshold, defaulting to -threshold) with one alloc of absolute
+// slack (sync.Pool warm-up makes allocs/op jitter by ±1 between runs; a
+// real leak moves it by orders of magnitude). The separate alloc threshold
+// lets the gate hold allocation-free kernels to a tighter bound than their
+// timing, which jitters with machine load while allocs/op does not. Benchmark names are
 // compared after stripping the -N GOMAXPROCS suffix, so a baseline recorded
 // on one machine gates runs on another. Duplicate entries for one name
 // (from `go test -count N`) collapse to the best run per metric, so the
@@ -45,7 +48,9 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
-	threshold := fs.Float64("threshold", 0.10, "max tolerated fractional regression (0.10 = +10%)")
+	threshold := fs.Float64("threshold", 0.10, "max tolerated fractional ns/op regression (0.10 = +10%)")
+	allocThreshold := fs.Float64("alloc-threshold", -1,
+		"max tolerated fractional allocs/op regression; negative = same as -threshold")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,6 +60,9 @@ func run(args []string, stdout io.Writer) error {
 	if *threshold < 0 {
 		return fmt.Errorf("negative threshold %v", *threshold)
 	}
+	if *allocThreshold < 0 {
+		*allocThreshold = *threshold
+	}
 	base, err := load(fs.Arg(0))
 	if err != nil {
 		return err
@@ -63,7 +71,7 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return diff(stdout, fs.Arg(0), base, cur, *threshold)
+	return diff(stdout, fs.Arg(0), base, cur, *threshold, *allocThreshold)
 }
 
 // load reads one benchmark record, keyed by normalized benchmark name.
@@ -109,7 +117,7 @@ func normalize(name string) string {
 // diff prints a comparison table and returns an error naming every
 // benchmark that regressed past the threshold or vanished from the current
 // run (a silently dropped benchmark is a gate hole, not a pass).
-func diff(w io.Writer, basePath string, base, cur map[string]entry, threshold float64) error {
+func diff(w io.Writer, basePath string, base, cur map[string]entry, threshold, allocThreshold float64) error {
 	names := make([]string, 0, len(base))
 	for n := range base {
 		names = append(names, n)
@@ -133,7 +141,7 @@ func diff(w io.Writer, basePath string, base, cur map[string]entry, threshold fl
 			reasons = append(reasons, fmt.Sprintf("ns/op %+.1f%%", 100*(c.NsPerOp/b.NsPerOp-1)))
 		}
 		// One alloc of absolute slack: pool warm-up jitter, not a leak.
-		if c.AllocsPerOp > b.AllocsPerOp*(1+threshold)+1 {
+		if c.AllocsPerOp > b.AllocsPerOp*(1+allocThreshold)+1 {
 			reasons = append(reasons, fmt.Sprintf("allocs/op %.0f -> %.0f", b.AllocsPerOp, c.AllocsPerOp))
 		}
 		verdict := "ok"
@@ -154,10 +162,14 @@ func diff(w io.Writer, basePath string, base, cur map[string]entry, threshold fl
 				n, "-", cur[n].NsPerOp, "-", "-", cur[n].AllocsPerOp)
 		}
 	}
-	if len(regressions) > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed past %.0f%% vs %s:\n  %s",
-			len(regressions), threshold*100, basePath, strings.Join(regressions, "\n  "))
+	limits := fmt.Sprintf("%.0f%%", threshold*100)
+	if allocThreshold != threshold {
+		limits = fmt.Sprintf("%.0f%% ns / %.0f%% allocs", threshold*100, allocThreshold*100)
 	}
-	fmt.Fprintf(w, "all %d benchmarks within %.0f%% of %s\n", len(names), threshold*100, basePath)
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed past %s vs %s:\n  %s",
+			len(regressions), limits, basePath, strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(w, "all %d benchmarks within %s of %s\n", len(names), limits, basePath)
 	return nil
 }

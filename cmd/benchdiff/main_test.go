@@ -71,6 +71,46 @@ func TestAllocRegressionFails(t *testing.T) {
 	}
 }
 
+// -alloc-threshold gates allocs/op independently of -threshold: an alloc
+// growth inside the ns budget but past the alloc budget must fail.
+func TestAllocThresholdIndependentOfNs(t *testing.T) {
+	dir := t.TempDir()
+	old := writeFixture(t, dir, "old.json", `[{"name": "B", "ns_per_op": 1000, "allocs_per_op": 100}]`)
+	cur := writeFixture(t, dir, "new.json", `[{"name": "B", "ns_per_op": 1000, "allocs_per_op": 140}]`)
+	var out strings.Builder
+	// +40% allocs passes a loose 50% alloc threshold...
+	if err := run([]string{"-threshold", "0.10", "-alloc-threshold", "0.50", old, cur}, &out); err != nil {
+		t.Fatalf("+40%% allocs failed the 50%% alloc gate: %v\n%s", err, out.String())
+	}
+	// ...and fails a strict 10% alloc threshold even though ns/op is flat.
+	out.Reset()
+	err := run([]string{"-threshold", "0.50", "-alloc-threshold", "0.10", old, cur}, &out)
+	if err == nil {
+		t.Fatalf("+40%% allocs passed the 10%% alloc gate:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "allocs/op 100 -> 140") {
+		t.Errorf("error does not describe the alloc regression: %v", err)
+	}
+	if !strings.Contains(err.Error(), "50% ns / 10% allocs") {
+		t.Errorf("error does not state the split thresholds: %v", err)
+	}
+}
+
+// An unset -alloc-threshold follows -threshold, the historical behaviour.
+func TestAllocThresholdDefaultsToNsThreshold(t *testing.T) {
+	dir := t.TempDir()
+	old := writeFixture(t, dir, "old.json", `[{"name": "B", "ns_per_op": 1000, "allocs_per_op": 100}]`)
+	cur := writeFixture(t, dir, "new.json", `[{"name": "B", "ns_per_op": 1000, "allocs_per_op": 140}]`)
+	var out strings.Builder
+	if err := run([]string{"-threshold", "0.50", old, cur}, &out); err != nil {
+		t.Fatalf("+40%% allocs failed the inherited 50%% gate: %v", err)
+	}
+	out.Reset()
+	if err := run([]string{"-threshold", "0.10", old, cur}, &out); err == nil {
+		t.Fatalf("+40%% allocs passed the inherited 10%% gate:\n%s", out.String())
+	}
+}
+
 func TestOneAllocSlackTolerated(t *testing.T) {
 	dir := t.TempDir()
 	old := writeFixture(t, dir, "old.json", `[{"name": "B", "ns_per_op": 100, "allocs_per_op": 0}]`)

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/capio"
 	"repro/internal/clock"
@@ -51,9 +53,36 @@ func run(args []string, out io.Writer) error {
 		jsonOut  = fs.Bool("json", false, "with -run: emit the experiment Result as JSON")
 		workers  = fs.Int("workers", 0, "with -run: bound the experiment worker pool (0 = default; results identical for any value)")
 		cacheDir = fs.String("cache", "", "with -run: content-addressed store directory for experiment memoization")
+		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf  = fs.String("memprofile", "", "write a pprof allocation profile after the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "continuum: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap so the profile shows retained allocations
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "continuum: memprofile:", err)
+			}
+		}()
 	}
 	cliOpts := experiments.CLIOptions{
 		List: *listExp, Run: *runExp, JSON: *jsonOut,

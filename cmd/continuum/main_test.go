@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -115,5 +117,25 @@ func TestRegistryFlags(t *testing.T) {
 	}
 	if !strings.Contains(a.String(), "energy-aware") {
 		t.Errorf("faas experiment table malformed:\n%s", a.String())
+	}
+}
+
+// The profiling flags must leave valid, non-empty pprof files behind.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var sb strings.Builder
+	if err := run([]string{"-scenario", "faults", "-cpuprofile", cpu, "-memprofile", mem}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
 	}
 }

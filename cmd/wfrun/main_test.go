@@ -176,3 +176,23 @@ func TestRegistryFlags(t *testing.T) {
 		t.Errorf("sweep table malformed:\n%s", a.String())
 	}
 }
+
+// The profiling flags must leave valid, non-empty pprof files behind.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var sb strings.Builder
+	if err := run([]string{"-demo", "-cpuprofile", cpu, "-memprofile", mem}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}

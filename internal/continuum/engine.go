@@ -1,74 +1,76 @@
 package continuum
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
 	"time"
 
 	"repro/internal/clock"
-	"repro/internal/par"
 )
 
 // This file implements the discrete-event simulation core used by the
 // orchestration, FaaS and energy substrates. The engine is single-threaded
 // and fully deterministic: events at equal timestamps fire in scheduling
-// order (the monotonic seq tie-break in eventHeap.Less), so repeated runs —
-// including the parallel scenario sweeps that run one engine per candidate
-// — produce identical traces.
+// order (the monotonic seq tie-break in less), so repeated runs — including
+// the parallel scenario sweeps that run one engine per candidate — produce
+// identical traces.
+//
+// Storage is an index-based binary heap over a growable arena of event
+// records plus a free-list: Push/Pop move int32 slot indices, never boxed
+// pointers, so steady-state scheduling is allocation-free and the hot loop
+// walks a contiguous slab instead of chasing heap-allocated event objects.
+// Cancellation is lazy (a dead mark on the record) with a compaction pass
+// once dead events outnumber live ones, so cancel-heavy workloads cannot
+// degrade Run into a pop-one-dead-root-at-a-time crawl. The (at, seq) key
+// is a total order, which makes any internal heap arrangement — including
+// post-compaction heapify — observationally equivalent.
 
-// Event is a scheduled callback.
+// event is one arena record. Records are recycled through the free list;
+// gen increments on every recycle so stale EventIDs can never cancel the
+// slot's next tenant.
 type event struct {
 	at   float64
 	seq  uint64 // tie-breaker preserving scheduling order at equal times
 	gen  uint64 // incremented on recycle; guards stale EventIDs
-	fn   func()
+	fn   func() // nil for tag events dispatched through Engine.Handler
+	tag  int64
 	dead bool
 }
 
-// eventPool recycles event records across engines to cut allocation churn
-// in simulation inner loops (sweeps create one engine per candidate, each
-// scheduling thousands of events). sync.Pool-backed, so concurrently
-// running engines share it safely.
-var eventPool = par.NewPool(func() *event { return &event{} })
-
-// recycle returns a fired or discarded event to the pool. The generation
-// bump invalidates any EventID still pointing at this record.
-func recycle(ev *event) {
-	ev.gen++
-	ev.fn = nil
-	eventPool.Put(ev)
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-
 // EventID identifies a scheduled event for cancellation. It captures the
-// event record's generation, so an ID held past its event's firing can
-// never cancel a recycled record.
+// owning engine, the arena slot and the slot's generation, so an ID held
+// past its event's firing (or across Reset) can never cancel a recycled
+// record. The zero EventID is invalid and never cancels anything.
 type EventID struct {
-	e   *event
-	gen uint64
+	eng  *Engine
+	slot int32
+	gen  uint64
 }
+
+// compactMin is the heap size below which cancellation never triggers
+// compaction: tiny heaps drain dead roots essentially for free.
+const compactMin = 64
 
 // Engine is a deterministic discrete-event simulator.
 type Engine struct {
-	now    float64
-	seq    uint64
-	events eventHeap
+	now   float64
+	seq   uint64
+	arena []event // slot-indexed records, grown on demand, never shrunk
+	heap  []int32 // binary heap of arena slots ordered by (at, seq)
+	free  []int32 // recycled slots available for reuse
+	live  int     // scheduled-and-not-(fired|cancelled) count: O(1) Pending
+	dead  int     // cancelled records still parked in the heap
+
+	// Handler dispatches events scheduled with ScheduleTag. Compiled
+	// simulators use tags instead of closures so that scheduling allocates
+	// nothing; one handler set once replaces one closure per event.
+	Handler func(tag int64)
+
 	// Processed counts executed events, useful for run-away detection in
-	// tests and benchmarks.
+	// tests and benchmarks. Run batches its updates in a local counter and
+	// flushes on exit, keeping the per-event loop free of field writes
+	// beyond the clock itself.
 	Processed int
 	// MaxEvents aborts Run after this many events when > 0.
 	MaxEvents int
@@ -80,22 +82,109 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current simulated time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
-// Schedule runs fn after delay seconds. Negative delays are errors.
-func (e *Engine) Schedule(delay float64, fn func()) (EventID, error) {
+// less orders heap entries by (at, seq) — a strict total order, since seq
+// is unique per scheduled event.
+func (e *Engine) less(a, b int32) bool {
+	ea, eb := &e.arena[a], &e.arena[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && e.less(h[r], h[l]) {
+			m = r
+		}
+		if !e.less(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// alloc returns a free arena slot, growing the arena when the free list is
+// empty. Growth is amortised: once a workload's peak concurrency has been
+// seen, scheduling never allocates again.
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		s := e.free[n-1]
+		e.free = e.free[:n-1]
+		return s
+	}
+	e.arena = append(e.arena, event{})
+	return int32(len(e.arena) - 1)
+}
+
+// recycle returns a fired or discarded record to the free list. The
+// generation bump invalidates any EventID still pointing at this slot.
+func (e *Engine) recycle(slot int32) {
+	ev := &e.arena[slot]
+	ev.gen++
+	ev.fn = nil
+	e.free = append(e.free, slot)
+}
+
+// popRoot removes and returns the heap root slot. Caller guarantees the
+// heap is non-empty.
+func (e *Engine) popRoot() int32 {
+	h := e.heap
+	root := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	e.heap = h[:last]
+	if last > 0 {
+		e.siftDown(0)
+	}
+	return root
+}
+
+// schedule is the shared slot-fill path behind Schedule and ScheduleTag.
+func (e *Engine) schedule(delay float64, fn func(), tag int64) (EventID, error) {
 	if delay < 0 || math.IsNaN(delay) || math.IsInf(delay, 0) {
 		return EventID{}, fmt.Errorf("continuum: invalid delay %v", delay)
 	}
-	if fn == nil {
-		return EventID{}, errors.New("continuum: nil event callback")
-	}
-	ev := eventPool.Get()
+	slot := e.alloc()
+	ev := &e.arena[slot]
 	ev.at = e.now + delay
 	ev.seq = e.seq
 	ev.fn = fn
+	ev.tag = tag
 	ev.dead = false
 	e.seq++
-	heap.Push(&e.events, ev)
-	return EventID{e: ev, gen: ev.gen}, nil
+	e.heap = append(e.heap, slot)
+	e.siftUp(len(e.heap) - 1)
+	e.live++
+	return EventID{eng: e, slot: slot, gen: ev.gen}, nil
+}
+
+// Schedule runs fn after delay seconds. Negative delays are errors.
+func (e *Engine) Schedule(delay float64, fn func()) (EventID, error) {
+	if fn == nil {
+		return EventID{}, errors.New("continuum: nil event callback")
+	}
+	return e.schedule(delay, fn, 0)
 }
 
 // MustSchedule is Schedule for callers with known-good delays; it panics on
@@ -108,33 +197,95 @@ func (e *Engine) MustSchedule(delay float64, fn func()) EventID {
 	return id
 }
 
+// ScheduleTag schedules a closure-free event: at fire time the engine calls
+// Handler(tag) instead of a per-event callback. This is the hot path for
+// compiled simulators, where one integer tag encodes the action and the
+// subject and scheduling must not allocate.
+func (e *Engine) ScheduleTag(delay float64, tag int64) (EventID, error) {
+	if e.Handler == nil {
+		return EventID{}, errors.New("continuum: ScheduleTag with nil Engine.Handler")
+	}
+	return e.schedule(delay, nil, tag)
+}
+
+// MustScheduleTag is ScheduleTag that panics on programmer error.
+func (e *Engine) MustScheduleTag(delay float64, tag int64) EventID {
+	id, err := e.ScheduleTag(delay, tag)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
 // Cancel prevents a scheduled event from firing. Cancelling an already-fired,
 // already-cancelled, or recycled event is a no-op returning false.
 func (e *Engine) Cancel(id EventID) bool {
-	if id.e == nil || id.e.gen != id.gen || id.e.dead {
+	if id.eng != e || id.slot < 0 || int(id.slot) >= len(e.arena) {
 		return false
 	}
-	id.e.dead = true
+	ev := &e.arena[id.slot]
+	if ev.gen != id.gen || ev.dead {
+		return false
+	}
+	ev.dead = true
+	e.live--
+	e.dead++
+	// Compact once dead records outnumber live ones: cancel-heavy
+	// workloads would otherwise pay a pop-and-recycle per dead event at
+	// the root of every Run/Step peek.
+	if e.dead > len(e.heap)/2 && len(e.heap) >= compactMin {
+		e.compact()
+	}
 	return true
 }
 
-// Pending returns the number of live scheduled events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if !ev.dead {
-			n++
+// compact removes every dead record from the heap in one pass and restores
+// the heap property bottom-up. Safe for determinism: (at, seq) is a total
+// order, so pop order is independent of internal arrangement.
+func (e *Engine) compact() {
+	h := e.heap[:0]
+	for _, slot := range e.heap {
+		if e.arena[slot].dead {
+			e.recycle(slot)
+		} else {
+			h = append(h, slot)
 		}
 	}
-	return n
+	e.heap = h
+	e.dead = 0
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		e.siftDown(i)
+	}
+}
+
+// Pending returns the number of live scheduled events in O(1).
+func (e *Engine) Pending() int { return e.live }
+
+// fire pops the root, recycles its slot before dispatch (so the callback
+// can immediately reuse it) and invokes the callback or tag handler.
+func (e *Engine) fire() {
+	slot := e.popRoot()
+	ev := &e.arena[slot]
+	e.now = ev.at
+	fn, tag := ev.fn, ev.tag
+	e.recycle(slot)
+	e.live--
+	if fn != nil {
+		fn()
+	} else {
+		e.Handler(tag)
+	}
 }
 
 // Step executes the next event, returning false when the queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
+	for len(e.heap) > 0 {
+		root := e.heap[0]
+		ev := &e.arena[root]
 		if ev.dead {
-			recycle(ev)
+			e.popRoot()
+			e.recycle(root)
+			e.dead--
 			continue
 		}
 		if ev.at < e.now {
@@ -142,11 +293,8 @@ func (e *Engine) Step() bool {
 			// unless memory is corrupted, so fail loudly.
 			panic(fmt.Sprintf("continuum: time went backwards (%v < %v)", ev.at, e.now))
 		}
-		e.now = ev.at
 		e.Processed++
-		fn := ev.fn
-		recycle(ev)
-		fn()
+		e.fire()
 		return true
 	}
 	return false
@@ -156,18 +304,27 @@ func (e *Engine) Step() bool {
 // (inclusive; math.Inf(1) for no horizon). It returns an error if MaxEvents
 // is exceeded, which in practice means a simulation is self-perpetuating.
 func (e *Engine) Run(until float64) error {
-	for len(e.events) > 0 {
-		// Peek: the heap root is the earliest live event.
-		next := e.events[0]
-		if next.dead {
-			recycle(heap.Pop(&e.events).(*event))
+	processed := e.Processed
+	defer func() { e.Processed = processed }()
+	for len(e.heap) > 0 {
+		// Peek: the heap root is the earliest event by (at, seq).
+		root := e.heap[0]
+		ev := &e.arena[root]
+		if ev.dead {
+			e.popRoot()
+			e.recycle(root)
+			e.dead--
 			continue
 		}
-		if next.at > until {
+		if ev.at > until {
 			return nil
 		}
-		e.Step()
-		if e.MaxEvents > 0 && e.Processed > e.MaxEvents {
+		if ev.at < e.now {
+			panic(fmt.Sprintf("continuum: time went backwards (%v < %v)", ev.at, e.now))
+		}
+		processed++
+		e.fire()
+		if e.MaxEvents > 0 && processed > e.MaxEvents {
 			return fmt.Errorf("continuum: exceeded %d events at t=%v", e.MaxEvents, e.now)
 		}
 	}
@@ -176,6 +333,25 @@ func (e *Engine) Run(until float64) error {
 
 // RunAll executes events until the queue drains.
 func (e *Engine) RunAll() error { return e.Run(math.Inf(1)) }
+
+// Reset returns the engine to time zero while keeping the arena and heap
+// capacity, so sweeps can reuse one engine per worker without re-growing.
+// Every arena slot's generation is bumped, so EventIDs held across a Reset
+// can never cancel events of the next run.
+func (e *Engine) Reset() {
+	e.heap = e.heap[:0]
+	e.free = e.free[:0]
+	for i := range e.arena {
+		e.arena[i].gen++
+		e.arena[i].fn = nil
+		e.free = append(e.free, int32(i))
+	}
+	e.now = 0
+	e.seq = 0
+	e.live = 0
+	e.dead = 0
+	e.Processed = 0
+}
 
 // engineClock exposes the engine's simulated time as a clock.Clock, mapping
 // sim-seconds onto time.Time as offsets from clock.Epoch. This unifies the
@@ -204,7 +380,8 @@ func (e *Engine) AdvanceTo(t float64) error {
 	if t < e.now {
 		return fmt.Errorf("continuum: cannot rewind clock from %v to %v", e.now, t)
 	}
-	for _, ev := range e.events {
+	for _, slot := range e.heap {
+		ev := &e.arena[slot]
 		if !ev.dead && ev.at < t {
 			return fmt.Errorf("continuum: pending event at %v before advance target %v", ev.at, t)
 		}

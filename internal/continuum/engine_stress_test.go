@@ -1,0 +1,212 @@
+package continuum
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// checkHeapInvariant verifies the binary-heap property over (at, seq) and
+// the bookkeeping counters (live/dead vs record marks, free-list disjoint
+// from heap).
+func checkHeapInvariant(t *testing.T, e *Engine) {
+	t.Helper()
+	for i := 1; i < len(e.heap); i++ {
+		parent := (i - 1) / 2
+		if e.less(e.heap[i], e.heap[parent]) {
+			t.Fatalf("heap invariant violated at index %d: child (at=%v seq=%d) < parent (at=%v seq=%d)",
+				i, e.arena[e.heap[i]].at, e.arena[e.heap[i]].seq,
+				e.arena[e.heap[parent]].at, e.arena[e.heap[parent]].seq)
+		}
+	}
+	live, dead := 0, 0
+	inHeap := map[int32]bool{}
+	for _, slot := range e.heap {
+		if inHeap[slot] {
+			t.Fatalf("slot %d appears twice in heap", slot)
+		}
+		inHeap[slot] = true
+		if e.arena[slot].dead {
+			dead++
+		} else {
+			live++
+		}
+	}
+	if live != e.live {
+		t.Fatalf("live counter %d, but %d live records in heap", e.live, live)
+	}
+	if dead != e.dead {
+		t.Fatalf("dead counter %d, but %d dead records in heap", e.dead, dead)
+	}
+	for _, slot := range e.free {
+		if inHeap[slot] {
+			t.Fatalf("slot %d on free list while still in heap", slot)
+		}
+	}
+	if len(e.heap)+len(e.free) != len(e.arena) {
+		t.Fatalf("heap(%d) + free(%d) != arena(%d)", len(e.heap), len(e.free), len(e.arena))
+	}
+}
+
+// TestEngineCancelHeavyStress schedules 100k events and cancels all but a
+// thin survivor set, exercising the bulk-cancel compaction path: the run
+// must fire exactly the survivors, in time order, with clean bookkeeping.
+func TestEngineCancelHeavyStress(t *testing.T) {
+	const total = 100_000
+	const keepEvery = 97 // ~1k survivors
+
+	e := NewEngine()
+	r := rand.New(rand.NewSource(7))
+	ids := make([]EventID, total)
+	times := make([]float64, total)
+	for i := 0; i < total; i++ {
+		at := r.Float64() * 1e6
+		times[i] = at
+		ids[i] = e.MustSchedule(at, func() {})
+	}
+	var wantFired []float64
+	cancelled := 0
+	for i := 0; i < total; i++ {
+		if i%keepEvery == 0 {
+			wantFired = append(wantFired, times[i])
+			continue
+		}
+		if !e.Cancel(ids[i]) {
+			t.Fatalf("cancel %d failed", i)
+		}
+		cancelled++
+	}
+	checkHeapInvariant(t, e)
+	if got := e.Pending(); got != total-cancelled {
+		t.Fatalf("Pending=%d after cancels, want %d", got, total-cancelled)
+	}
+	// Compaction must have drained the dead backlog well below the cancel
+	// count — without it all 98k+ dead records would sit in the heap.
+	if e.dead > len(e.heap) {
+		t.Fatalf("dead backlog %d exceeds heap size %d", e.dead, len(e.heap))
+	}
+
+	// Survivors must fire in time order.
+	var fired []float64
+	prev := -1.0
+	for e.Step() {
+		if e.Now() < prev {
+			t.Fatalf("time went backwards: %v after %v", e.Now(), prev)
+		}
+		prev = e.Now()
+		fired = append(fired, e.Now())
+	}
+	sort.Float64s(wantFired)
+	if len(fired) != len(wantFired) {
+		t.Fatalf("fired %d events, want %d survivors", len(fired), len(wantFired))
+	}
+	for i := range fired {
+		if fired[i] != wantFired[i] {
+			t.Fatalf("fired[%d]=%v, want %v", i, fired[i], wantFired[i])
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending=%d after drain", e.Pending())
+	}
+	checkHeapInvariant(t, e)
+}
+
+// TestEngineHeapInvariantProperty drives the engine with a randomized mix
+// of schedules, cancels and steps, checking the heap invariant throughout.
+// The seed is fixed, so failures reproduce.
+func TestEngineHeapInvariantProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	e := NewEngine()
+	var ids []EventID
+	for op := 0; op < 20_000; op++ {
+		switch k := r.Intn(10); {
+		case k < 5: // schedule
+			ids = append(ids, e.MustSchedule(r.Float64()*100, func() {}))
+		case k < 8: // cancel a random (possibly stale) id
+			if len(ids) > 0 {
+				e.Cancel(ids[r.Intn(len(ids))])
+			}
+		default: // step
+			e.Step()
+		}
+		if op%512 == 0 {
+			checkHeapInvariant(t, e)
+		}
+	}
+	checkHeapInvariant(t, e)
+	for e.Step() {
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending=%d after drain", e.Pending())
+	}
+	checkHeapInvariant(t, e)
+}
+
+// TestEngineScheduleTag checks the closure-free dispatch path: tags reach
+// the handler, with the same (at, seq) ordering as closure events.
+func TestEngineScheduleTag(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.ScheduleTag(1, 42); err == nil {
+		t.Fatal("ScheduleTag with nil Handler should fail")
+	}
+	var got []int64
+	e.Handler = func(tag int64) { got = append(got, tag) }
+	e.MustScheduleTag(2, 200)
+	e.MustScheduleTag(1, 100)
+	e.MustSchedule(1.5, func() { got = append(got, 150) })
+	id := e.MustScheduleTag(1.7, 170)
+	if !e.Cancel(id) {
+		t.Fatal("cancel tag event failed")
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{100, 150, 200}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestEngineResetInvalidatesIDs: EventIDs held across Reset must not cancel
+// the next run's events, even when the slot is reused.
+func TestEngineResetInvalidatesIDs(t *testing.T) {
+	e := NewEngine()
+	stale := e.MustSchedule(1, func() {})
+	e.Reset()
+	if e.Pending() != 0 || e.Now() != 0 || e.Processed != 0 {
+		t.Fatalf("Reset left state: pending=%d now=%v processed=%d", e.Pending(), e.Now(), e.Processed)
+	}
+	fired := false
+	e.MustSchedule(1, func() { fired = true })
+	if e.Cancel(stale) {
+		t.Fatal("stale EventID cancelled a post-Reset event")
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("post-Reset event did not fire")
+	}
+}
+
+// TestEngineCancelForeignEngine: an EventID from one engine must never
+// cancel events on another.
+func TestEngineCancelForeignEngine(t *testing.T) {
+	a, b := NewEngine(), NewEngine()
+	idA := a.MustSchedule(1, func() {})
+	b.MustSchedule(1, func() {})
+	if b.Cancel(idA) {
+		t.Fatal("engine B cancelled engine A's event")
+	}
+	if b.Pending() != 1 || a.Pending() != 1 {
+		t.Fatalf("pending counts disturbed: a=%d b=%d", a.Pending(), b.Pending())
+	}
+	if !a.Cancel(idA) {
+		t.Fatal("owner engine could not cancel its own event")
+	}
+}

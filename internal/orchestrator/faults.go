@@ -37,11 +37,32 @@ type FaultyStats struct {
 	Failures int // failed attempts that were retried
 }
 
+// drawAttempts pre-draws the per-step attempt counts into sc.attempts
+// (attempts = 1 + number of leading failures), in workflow insertion order
+// — the stream convention every fault sweep depends on. A step whose
+// failures exceed MaxRetries is the unrecoverable case and aborts with an
+// error. Returns the total failed-attempt count.
+func drawAttempts(steps []*workflow.Step, fm FaultModel, r *rng.Rand, attempts []int32) (int, error) {
+	failures := 0
+	for i, s := range steps {
+		a := 1
+		for fm.FailureProb > 0 && r.Float64() < fm.FailureProb {
+			a++
+			if a > fm.MaxRetries+1 {
+				return 0, fmt.Errorf("orchestrator: step %q exhausted %d retries", s.ID, fm.MaxRetries)
+			}
+		}
+		attempts[i] = int32(a)
+		failures += a - 1
+	}
+	return failures, nil
+}
+
 // SimulateWithFaults runs the schedule simulation under the fault model by
-// inflating each step's work to cover its (pre-drawn) failed attempts. The
-// draw order is the workflow's insertion order, so runs are reproducible
-// under a fixed seed. A step whose failures exceed MaxRetries aborts the
-// simulation with an error (the unrecoverable case).
+// inflating each step's work to cover its (pre-drawn) failed attempts —
+// retries serialize on the same node, so total time multiplies by the
+// attempt count. The draw order is the workflow's insertion order, so runs
+// are reproducible under a fixed seed.
 func SimulateWithFaults(wf *workflow.Workflow, inf *continuum.Infrastructure, p Placement, policyName string, fm FaultModel) (*FaultyStats, error) {
 	if err := fm.Validate(); err != nil {
 		return nil, err
@@ -50,33 +71,25 @@ func SimulateWithFaults(wf *workflow.Workflow, inf *continuum.Infrastructure, p 
 	if r == nil {
 		r = rng.New(1)
 	}
-	// Pre-draw attempts per step: attempts = 1 + number of leading failures.
-	attempts := map[string]int{}
-	failures := 0
-	for _, s := range wf.Steps() {
-		a := 1
-		for fm.FailureProb > 0 && r.Float64() < fm.FailureProb {
-			a++
-			if a > fm.MaxRetries+1 {
-				return nil, fmt.Errorf("orchestrator: step %q exhausted %d retries", s.ID, fm.MaxRetries)
-			}
-		}
-		attempts[s.ID] = a
-		failures += a - 1
-	}
-	// Rebuild the workflow with inflated work (retries serialize on the
-	// same node, so total time multiplies by the attempt count).
-	inflated := workflow.New(wf.Name)
-	for _, s := range wf.Steps() {
-		cp := *s
-		cp.WorkGFlop *= float64(attempts[s.ID])
-		if err := inflated.Add(cp); err != nil {
-			return nil, err
-		}
-	}
-	sched, err := Simulate(inflated, inf, p, policyName)
+	// Draw before compiling: retry exhaustion outranks scenario validation,
+	// as it did when the draws preceded the Simulate call.
+	steps := wf.Steps()
+	attempts := make([]int32, len(steps))
+	failures, err := drawAttempts(steps, fm, r, attempts)
 	if err != nil {
 		return nil, err
 	}
-	return &FaultyStats{Schedule: sched, Failures: failures}, nil
+	prog, err := compile(wf, inf, p)
+	if err != nil {
+		return nil, err
+	}
+	sc := simPool.Get()
+	defer simPool.Put(sc)
+	sc.bind(prog)
+	copy(sc.attempts, attempts)
+	sc.inflatedWork()
+	if err := prog.run(sc); err != nil {
+		return nil, err
+	}
+	return &FaultyStats{Schedule: prog.buildSchedule(sc, policyName), Failures: failures}, nil
 }

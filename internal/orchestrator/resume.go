@@ -40,6 +40,96 @@ type ResumeStats struct {
 	SavedS     float64
 }
 
+// drawAttemptsResume pre-draws attempt counts like drawAttempts, but
+// instead of treating retry exhaustion as an error it clamps the attempt
+// count to the budget and remembers the first exhausted step (insertion
+// order) as the fatal one; drawing continues for later steps from the same
+// stream. Returns the fatal step index, or -1 when the run succeeds.
+func drawAttemptsResume(n int, fm FaultModel, r *rng.Rand, attempts []int32) int {
+	fatal := -1
+	for i := 0; i < n; i++ {
+		a := 1
+		for fm.FailureProb > 0 && r.Float64() < fm.FailureProb {
+			a++
+			if a > fm.MaxRetries+1 {
+				break
+			}
+		}
+		if a > fm.MaxRetries+1 {
+			// Every granted attempt ran and failed; the first such step is
+			// the fatal one (insertion order, the SweepFaults convention).
+			a = fm.MaxRetries + 1
+			if fatal == -1 {
+				fatal = i
+			}
+		}
+		attempts[i] = int32(a)
+	}
+	return fatal
+}
+
+// resumeStats simulates the recovery story for a run whose step fatal
+// exhausted its retries: the aborted first run (inflated by sc.attempts,
+// truncated at the fatal step's finish), a resume run replaying only the
+// steps not checkpointed before the abort, and the re-run-everything
+// baseline. sc must be bound to p with attempts filled.
+func (p *compiledSim) resumeStats(sc *simScratch, fatal int) (*ResumeStats, error) {
+	// First (aborted) run: inflate work by attempt counts and read the
+	// timeline. The fatal step's finish time is the abort instant.
+	sc.inflatedWork()
+	if err := p.run(sc); err != nil {
+		return nil, fmt.Errorf("orchestrator: aborted-run simulation: %w", err)
+	}
+	abortAt := sc.finish[fatal]
+	stats := &ResumeStats{
+		FatalStep:     p.steps[fatal].id,
+		TotalSteps:    len(p.steps),
+		FirstMakespan: abortAt,
+	}
+	for i := range p.steps {
+		sc.completed[i] = false
+		if i == fatal {
+			continue
+		}
+		if sc.finish[i] <= abortAt {
+			sc.completed[i] = true
+			stats.CompletedSteps++
+			stats.SavedGFlop += p.steps[i].work
+		}
+	}
+	// Failed attempts drawn for steps that never started do not count:
+	// only steps that began before the abort paid for their retries.
+	for i := range p.steps {
+		if sc.start[i] < abortAt {
+			stats.Failures += int(sc.attempts[i]) - 1
+		}
+	}
+
+	// Resume run: checkpointed steps restore with zero recompute (their
+	// output artifacts still feed dependents); incomplete steps — the
+	// fault fixed — run once.
+	for i := range p.steps {
+		if sc.completed[i] {
+			sc.effWork[i] = 0
+		} else {
+			sc.effWork[i] = p.steps[i].work
+		}
+	}
+	if err := p.run(sc); err != nil {
+		return nil, fmt.Errorf("orchestrator: resume simulation: %w", err)
+	}
+	stats.ResumeMakespan = sc.makespan()
+
+	// Scratch baseline: everything re-executes once.
+	sc.baseWork()
+	if err := p.run(sc); err != nil {
+		return nil, fmt.Errorf("orchestrator: scratch simulation: %w", err)
+	}
+	stats.ScratchMakespan = sc.makespan()
+	stats.SavedS = stats.ScratchMakespan - stats.ResumeMakespan
+	return stats, nil
+}
+
 // SimulateWithResume runs the fault model like SimulateWithFaults, but
 // instead of treating retry exhaustion as a terminal error it simulates the
 // recovery: the aborted first run (steps completed before the abort are
@@ -54,100 +144,22 @@ func SimulateWithResume(wf *workflow.Workflow, inf *continuum.Infrastructure, p 
 	if r == nil {
 		r = rng.New(1)
 	}
-	// Draw attempts in insertion order (the SweepFaults convention). The
-	// first step to exhaust MaxRetries is the fatal one; its failed
-	// attempts still consume their full execution time.
-	attempts := map[string]int{}
-	fatal := ""
-	for _, s := range wf.Steps() {
-		a := 1
-		for fm.FailureProb > 0 && r.Float64() < fm.FailureProb {
-			a++
-			if a > fm.MaxRetries+1 {
-				break
-			}
-		}
-		if a > fm.MaxRetries+1 {
-			// Every granted attempt ran and failed; the first such step is
-			// the fatal one (insertion order, the SweepFaults convention).
-			a = fm.MaxRetries + 1
-			if fatal == "" {
-				fatal = s.ID
-			}
-		}
-		attempts[s.ID] = a
-	}
-	if fatal == "" {
+	// Draw before compiling, as the seed drew before simulating: a run with
+	// no fatal step reports nothing to resume before any scenario check.
+	attempts := make([]int32, wf.Len())
+	fatal := drawAttemptsResume(wf.Len(), fm, r, attempts)
+	if fatal < 0 {
 		return nil, nil
 	}
-
-	// First (aborted) run: inflate work by attempt counts and read the
-	// timeline. The fatal step's finish time is the abort instant.
-	inflated := workflow.New(wf.Name)
-	for _, s := range wf.Steps() {
-		cp := *s
-		cp.WorkGFlop *= float64(attempts[s.ID])
-		if err := inflated.Add(cp); err != nil {
-			return nil, err
-		}
-	}
-	first, err := Simulate(inflated, inf, p, policyName)
+	prog, err := compile(wf, inf, p)
 	if err != nil {
-		return nil, fmt.Errorf("orchestrator: aborted-run simulation: %w", err)
+		return nil, err
 	}
-	abortAt := first.Steps[fatal].Finish
-
-	stats := &ResumeStats{
-		FatalStep:     fatal,
-		TotalSteps:    wf.Len(),
-		FirstMakespan: abortAt,
-	}
-	completed := map[string]bool{}
-	for _, s := range wf.Steps() {
-		if s.ID == fatal {
-			continue
-		}
-		if tr, ok := first.Steps[s.ID]; ok && tr.Finish <= abortAt {
-			completed[s.ID] = true
-			stats.CompletedSteps++
-			stats.SavedGFlop += s.WorkGFlop
-		}
-	}
-	// Failed attempts drawn for steps that never started do not count:
-	// only steps that began before the abort paid for their retries.
-	for _, s := range wf.Steps() {
-		if tr, ok := first.Steps[s.ID]; ok && tr.Start < abortAt {
-			stats.Failures += attempts[s.ID] - 1
-		}
-	}
-
-	// Resume run: checkpointed steps restore with zero recompute (their
-	// output artifacts still feed dependents); incomplete steps — the
-	// fault fixed — run once.
-	resumeWf := workflow.New(wf.Name)
-	for _, s := range wf.Steps() {
-		cp := *s
-		if completed[s.ID] {
-			cp.WorkGFlop = 0
-		}
-		if err := resumeWf.Add(cp); err != nil {
-			return nil, err
-		}
-	}
-	resumed, err := Simulate(resumeWf, inf, p, policyName)
-	if err != nil {
-		return nil, fmt.Errorf("orchestrator: resume simulation: %w", err)
-	}
-	stats.ResumeMakespan = resumed.Makespan
-
-	// Scratch baseline: everything re-executes once.
-	scratch, err := Simulate(wf, inf, p, policyName)
-	if err != nil {
-		return nil, fmt.Errorf("orchestrator: scratch simulation: %w", err)
-	}
-	stats.ScratchMakespan = scratch.Makespan
-	stats.SavedS = stats.ScratchMakespan - stats.ResumeMakespan
-	return stats, nil
+	sc := simPool.Get()
+	defer simPool.Put(sc)
+	sc.bind(prog)
+	copy(sc.attempts, attempts)
+	return prog.resumeStats(sc, fatal)
 }
 
 // ResumePoint is one candidate of a resume sweep. Stats is nil when the
@@ -157,27 +169,43 @@ type ResumePoint struct {
 	Stats       *ResumeStats
 }
 
-// SweepFaultsResume runs SimulateWithResume across failure probabilities
-// on the par worker pool — candidate i draws from par.SplitSeed(seed, i),
-// so the sweep is reproducible for any worker count, mirroring SweepFaults.
+// SweepFaultsResume runs the resume recovery story across failure
+// probabilities on the par worker pool — candidate i draws from
+// par.SplitSeed(seed, i), so the sweep is reproducible for any worker
+// count, mirroring SweepFaults. Like SweepFaults, the scenario is placed
+// and compiled once and candidates share pooled scratch, so pol must be
+// deterministic.
 func SweepFaultsResume(mkWf func() *workflow.Workflow, mkInf func() *continuum.Infrastructure,
 	pol Policy, probs []float64, maxRetries int, seed int64, opts ...par.Option) ([]ResumePoint, error) {
 
-	return par.MapReduceN(len(probs), func(_, lo, hi int) ([]ResumePoint, error) {
+	wf := mkWf()
+	inf := mkInf()
+	placement, err := pol.Place(wf, inf)
+	if err != nil {
+		return nil, fmt.Errorf("orchestrator: policy %s: %w", pol.Name(), err)
+	}
+	prog, err := compile(wf, inf, placement)
+	if err != nil {
+		return nil, err
+	}
+	return par.MapReduceScratch(len(probs), simPool, func(_, lo, hi int, sc *simScratch) ([]ResumePoint, error) {
 		pts := make([]ResumePoint, 0, hi-lo)
 		for i := lo; i < hi; i++ {
-			wf := mkWf()
-			inf := mkInf()
-			placement, err := pol.Place(wf, inf)
-			if err != nil {
-				return nil, fmt.Errorf("orchestrator: policy %s: %w", pol.Name(), err)
-			}
 			fm := FaultModel{
 				FailureProb: probs[i],
 				MaxRetries:  maxRetries,
 				Rng:         rng.New(par.SplitSeed(seed, i)),
 			}
-			rs, err := SimulateWithResume(wf, inf, placement, pol.Name(), fm)
+			if err := fm.Validate(); err != nil {
+				return nil, err
+			}
+			sc.bind(prog)
+			fatal := drawAttemptsResume(len(prog.steps), fm, fm.Rng, sc.attempts)
+			if fatal < 0 {
+				pts = append(pts, ResumePoint{FailureProb: probs[i]})
+				continue
+			}
+			rs, err := prog.resumeStats(sc, fatal)
 			if err != nil {
 				return nil, err
 			}

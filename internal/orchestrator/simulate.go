@@ -85,9 +85,10 @@ func (s *Schedule) CarbonG(inf *continuum.Infrastructure) (float64, error) {
 	return g, nil
 }
 
-// Simulate executes wf under placement p on a fresh copy of the semantics of
-// inf (reservations are made and released on inf itself; callers should pass
-// a dedicated infrastructure or expect it returned to its initial state).
+// Simulate executes wf under placement p. inf provides capacity, speeds and
+// topology but is not mutated: the simulation runs on a compiled form of the
+// scenario (see compile.go) that snapshots free cores up front, so inf is
+// exactly as the caller left it throughout.
 //
 // The model: a step becomes ready when every dependency has finished and its
 // output has been transferred to the step's node (transfers happen in
@@ -95,173 +96,18 @@ func (s *Schedule) CarbonG(inf *continuum.Infrastructure) (float64, error) {
 // enough free cores (FIFO per node), runs for its compute time, then
 // releases cores.
 func Simulate(wf *workflow.Workflow, inf *continuum.Infrastructure, p Placement, policyName string) (*Schedule, error) {
-	if err := wf.Validate(); err != nil {
+	prog, err := compile(wf, inf, p)
+	if err != nil {
 		return nil, err
 	}
-	if err := p.Validate(wf, inf); err != nil {
+	sc := simPool.Get()
+	defer simPool.Put(sc)
+	sc.bind(prog)
+	sc.baseWork()
+	if err := prog.run(sc); err != nil {
 		return nil, err
 	}
-
-	eng := continuum.NewEngine()
-	eng.MaxEvents = 100 * wf.Len() * 10
-
-	sched := &Schedule{
-		Policy:    policyName,
-		Placement: p,
-		Steps:     map[string]StepTrace{},
-		stepCores: map[string]int{},
-	}
-
-	remaining := map[string]int{}
-	finishAt := map[string]float64{}
-	var queues = map[string][]string{} // nodeID → FIFO of waiting step IDs
-	var simErr error
-
-	var tryStart func(nodeID string)
-
-	finishStep := func(id string) {
-		s, _ := wf.Step(id)
-		nodeID := p[id]
-		n, _ := inf.Node(nodeID)
-		cores := min(s.Cores, n.Cores)
-		if err := inf.Release(nodeID, cores); err != nil && simErr == nil {
-			simErr = err
-		}
-		finishAt[id] = eng.Now()
-		tr := sched.Steps[id]
-		tr.Finish = eng.Now()
-		sched.Steps[id] = tr
-		// Notify dependents: their data starts moving now.
-		for _, depID := range wf.Dependents(id) {
-			remaining[depID]--
-			if remaining[depID] == 0 {
-				scheduleReady(eng, wf, inf, p, depID, finishAt, sched, queues, &simErr, tryStart)
-			}
-		}
-		tryStart(nodeID)
-	}
-
-	tryStart = func(nodeID string) {
-		q := queues[nodeID]
-		for len(q) > 0 {
-			id := q[0]
-			s, _ := wf.Step(id)
-			n, _ := inf.Node(nodeID)
-			cores := min(s.Cores, n.Cores)
-			if n.FreeCores() < cores {
-				break
-			}
-			q = q[1:]
-			if err := inf.Reserve(nodeID, cores); err != nil {
-				if simErr == nil {
-					simErr = err
-				}
-				break
-			}
-			sched.stepCores[id] = cores
-			exec, err := n.ExecSeconds(s.WorkGFlop, cores)
-			if err != nil {
-				if simErr == nil {
-					simErr = err
-				}
-				break
-			}
-			tr := sched.Steps[id]
-			tr.Start = eng.Now()
-			tr.WaitS = tr.Start - tr.Ready
-			sched.Steps[id] = tr
-			stepID := id
-			eng.MustSchedule(exec, func() { finishStep(stepID) })
-		}
-		queues[nodeID] = q
-	}
-
-	for _, s := range wf.Steps() {
-		remaining[s.ID] = len(s.After)
-	}
-	for _, s := range wf.Steps() {
-		if remaining[s.ID] == 0 {
-			scheduleReady(eng, wf, inf, p, s.ID, finishAt, sched, queues, &simErr, tryStart)
-		}
-	}
-
-	if err := eng.RunAll(); err != nil {
-		return nil, err
-	}
-	if simErr != nil {
-		return nil, simErr
-	}
-	for _, s := range wf.Steps() {
-		if _, done := finishAt[s.ID]; !done {
-			return nil, fmt.Errorf("orchestrator: step %q never completed (deadlock?)", s.ID)
-		}
-		if tr := sched.Steps[s.ID]; tr.Finish > sched.Makespan {
-			sched.Makespan = tr.Finish
-		}
-	}
-
-	// Accounting.
-	used := map[string]bool{}
-	for _, s := range wf.Steps() {
-		tr := sched.Steps[s.ID]
-		n, _ := inf.Node(tr.NodeID)
-		cores := sched.stepCores[s.ID]
-		exec := tr.Finish - tr.Start
-		util := float64(cores) / float64(n.Cores)
-		sched.DynamicEnergyJ += (n.MaxW - n.IdleW) * util * exec
-		sched.CostEUR += float64(cores) * exec / 3600 * n.CostPerCoreHour
-		used[tr.NodeID] = true
-		for _, depID := range s.After {
-			dep, _ := wf.Step(depID)
-			if p[depID] != p[s.ID] {
-				sched.BytesMoved += dep.OutputBytes
-			}
-		}
-	}
-	// Sorted iteration keeps the float sum bit-identical across runs
-	// (map order would otherwise reorder non-associative additions).
-	usedIDs := make([]string, 0, len(used))
-	for id := range used {
-		usedIDs = append(usedIDs, id)
-	}
-	sort.Strings(usedIDs)
-	for _, id := range usedIDs {
-		n, _ := inf.Node(id)
-		sched.IdleEnergyJ += n.IdleW * sched.Makespan
-	}
-	sched.NodesUsed = len(used)
-	return sched, nil
-}
-
-// scheduleReady computes the data-arrival time for a step whose dependencies
-// all finished, then enqueues it on its node at that time.
-func scheduleReady(eng *continuum.Engine, wf *workflow.Workflow, inf *continuum.Infrastructure,
-	p Placement, id string, finishAt map[string]float64, sched *Schedule,
-	queues map[string][]string, simErr *error, tryStart func(string)) {
-
-	s, _ := wf.Step(id)
-	nodeID := p[id]
-	node, _ := inf.Node(nodeID)
-	var maxXfer float64
-	for _, depID := range s.After {
-		dep, _ := wf.Step(depID)
-		depNode, _ := inf.Node(p[depID])
-		t := inf.Topology.TransferSeconds(depNode, node, dep.OutputBytes)
-		if t > maxXfer {
-			maxXfer = t
-		}
-	}
-	delay := maxXfer // dependencies all finished at eng.Now()
-	eng.MustSchedule(delay, func() {
-		sched.Steps[id] = StepTrace{
-			StepID:    id,
-			NodeID:    nodeID,
-			Ready:     eng.Now(),
-			TransferS: maxXfer,
-		}
-		queues[nodeID] = append(queues[nodeID], id)
-		tryStart(nodeID)
-	})
+	return prog.buildSchedule(sc, policyName), nil
 }
 
 // Compare runs every policy on copies of the same scenario and returns the

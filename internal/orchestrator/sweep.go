@@ -35,30 +35,53 @@ type FaultPoint struct {
 // SweepFaults simulates the placement produced by pol under every failure
 // probability in probs. Candidate i draws its injections from a dedicated
 // RNG seeded with par.SplitSeed(seed, i), so the sweep is reproducible and
-// independent of the worker count. mkWf/mkInf must return fresh instances
-// (they are called once per candidate, possibly concurrently).
+// independent of the worker count.
+//
+// The scenario is built and compiled once — pol.Place runs a single time
+// and every candidate replays the compiled tables on pooled scratch, so a
+// candidate costs only its RNG draws, the event loop and its output record.
+// pol must therefore be deterministic (every Policy here except an unseeded
+// Random), which the per-candidate-placement contract already required for
+// worker-count invariance.
 func SweepFaults(mkWf func() *workflow.Workflow, mkInf func() *continuum.Infrastructure,
 	pol Policy, probs []float64, maxRetries int, seed int64, opts ...par.Option) ([]FaultPoint, error) {
 
-	return par.MapReduceN(len(probs), func(_, lo, hi int) ([]FaultPoint, error) {
+	wf := mkWf()
+	inf := mkInf()
+	placement, err := pol.Place(wf, inf)
+	if err != nil {
+		return nil, fmt.Errorf("orchestrator: policy %s: %w", pol.Name(), err)
+	}
+	prog, err := compile(wf, inf, placement)
+	if err != nil {
+		return nil, err
+	}
+	steps := wf.Steps()
+	polName := pol.Name()
+	return par.MapReduceScratch(len(probs), simPool, func(_, lo, hi int, sc *simScratch) ([]FaultPoint, error) {
 		pts := make([]FaultPoint, 0, hi-lo)
 		for i := lo; i < hi; i++ {
-			wf := mkWf()
-			inf := mkInf()
-			placement, err := pol.Place(wf, inf)
-			if err != nil {
-				return nil, fmt.Errorf("orchestrator: policy %s: %w", pol.Name(), err)
-			}
 			fm := FaultModel{
 				FailureProb: probs[i],
 				MaxRetries:  maxRetries,
 				Rng:         rng.New(par.SplitSeed(seed, i)),
 			}
-			fs, err := SimulateWithFaults(wf, inf, placement, pol.Name(), fm)
+			if err := fm.Validate(); err != nil {
+				return nil, err
+			}
+			sc.bind(prog)
+			failures, err := drawAttempts(steps, fm, fm.Rng, sc.attempts)
 			if err != nil {
 				return nil, err
 			}
-			pts = append(pts, FaultPoint{FailureProb: probs[i], Stats: fs})
+			sc.inflatedWork()
+			if err := prog.run(sc); err != nil {
+				return nil, err
+			}
+			pts = append(pts, FaultPoint{
+				FailureProb: probs[i],
+				Stats:       &FaultyStats{Schedule: prog.buildSchedule(sc, polName), Failures: failures},
+			})
 		}
 		return pts, nil
 	}, func(a, b []FaultPoint) []FaultPoint { return append(a, b...) }, sweepOpts(opts)...)
@@ -71,7 +94,10 @@ func SweepFaults(mkWf func() *workflow.Workflow, mkInf func() *continuum.Infrast
 func SweepSlack(mkWf func() *workflow.Workflow, mkInf func() *continuum.Infrastructure,
 	slacks []float64, opts ...par.Option) ([]*Schedule, error) {
 
-	return par.MapReduceN(len(slacks), func(_, lo, hi int) ([]*Schedule, error) {
+	// Each slack candidate places differently, so compilation is per
+	// candidate; the simulation scratch (and its engine arena) still comes
+	// from the shared pool, so only placement and compilation allocate.
+	return par.MapReduceScratch(len(slacks), simPool, func(_, lo, hi int, sc *simScratch) ([]*Schedule, error) {
 		out := make([]*Schedule, 0, hi-lo)
 		for i := lo; i < hi; i++ {
 			wf := mkWf()
@@ -81,11 +107,16 @@ func SweepSlack(mkWf func() *workflow.Workflow, mkInf func() *continuum.Infrastr
 			if err != nil {
 				return nil, fmt.Errorf("orchestrator: slack %.2f: %w", slacks[i], err)
 			}
-			s, err := Simulate(wf, inf, p, pol.Name())
+			prog, err := compile(wf, inf, p)
 			if err != nil {
 				return nil, fmt.Errorf("orchestrator: slack %.2f: %w", slacks[i], err)
 			}
-			out = append(out, s)
+			sc.bind(prog)
+			sc.baseWork()
+			if err := prog.run(sc); err != nil {
+				return nil, fmt.Errorf("orchestrator: slack %.2f: %w", slacks[i], err)
+			}
+			out = append(out, prog.buildSchedule(sc, pol.Name()))
 		}
 		return out, nil
 	}, func(a, b []*Schedule) []*Schedule { return append(a, b...) }, sweepOpts(opts)...)

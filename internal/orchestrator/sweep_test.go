@@ -119,10 +119,41 @@ func benchFaultSweep(b *testing.B, opts ...par.Option) {
 	for i := range probs {
 		probs[i] = float64(i) * 0.02
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := SweepFaults(func() *workflow.Workflow { return wideWF(24) },
 			continuum.Testbed, DataLocal{}, probs, 200, 42, opts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFaultSweepLarge is the million-task workload: 512 candidates ×
+// a 420-step random DAG ≈ 215k step simulations (430k engine events) per
+// iteration. At this scale the compiled tables and pooled scratch dominate
+// the profile rather than per-candidate setup, so multi-core speedups are
+// visible — the workload the sweep substrate exists for.
+func BenchmarkFaultSweepLarge(b *testing.B) {
+	benchFaultSweepLarge(b)
+}
+
+// BenchmarkFaultSweepLargeSeq pins the single-worker baseline for the
+// Par-vs-Seq comparison on multi-core runners.
+func BenchmarkFaultSweepLargeSeq(b *testing.B) {
+	benchFaultSweepLarge(b, par.Workers(1))
+}
+
+func benchFaultSweepLarge(b *testing.B, opts ...par.Option) {
+	probs := make([]float64, 512)
+	for i := range probs {
+		probs[i] = float64(i) * 0.0015
+	}
+	mkWf := func() *workflow.Workflow { return benchWorkflow(420) }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SweepFaults(mkWf, continuum.Testbed, DataLocal{}, probs, 400, 42, opts...); err != nil {
 			b.Fatal(err)
 		}
 	}
