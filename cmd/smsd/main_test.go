@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListContainsRegistry(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"continuum/faas", "continuum/io", "report.full", "experiments (POST /experiments"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The loadtest report is a deterministic artifact: identical bytes across
+// repeated runs and across worker counts, down to the sha256 of the final
+// /metrics exposition.
+func TestLoadtestDeterministic(t *testing.T) {
+	render := func(workers string) string {
+		var sb strings.Builder
+		err := run([]string{
+			"-loadtest", "2000",
+			"-lt-names", "continuum/io,continuum/energy",
+			"-seed", "42",
+			"-workers", workers,
+		}, &sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	first := render("4")
+	if got := render("4"); got != first {
+		t.Fatalf("loadtest differs across identical runs:\n%s\nvs\n%s", first, got)
+	}
+	for _, w := range []string{"1", "8"} {
+		got := render(w)
+		// Only the echoed workers= header may differ.
+		a := first[strings.Index(first, "\n"):]
+		b := got[strings.Index(got, "\n"):]
+		if a != b {
+			t.Fatalf("loadtest differs between 4 and %s workers:\n%s\nvs\n%s", w, first, got)
+		}
+	}
+	for _, want := range []string{"endpoint status", "code 200", "prom_sha256", "latency_us"} {
+		if !strings.Contains(first, want) {
+			t.Errorf("report missing %q:\n%s", want, first)
+		}
+	}
+}
+
+func TestLoadtestUnknownName(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-loadtest", "10", "-lt-names", "no/such"}, &sb); err == nil {
+		t.Fatal("unknown -lt-names accepted")
+	}
+}

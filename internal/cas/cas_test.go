@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -154,6 +155,64 @@ func TestDiskStoreReopen(t *testing.T) {
 	}
 	if got, ok, _ := st2.Resolve(link); !ok || got != k {
 		t.Fatal("link lost across reopen")
+	}
+}
+
+// Objects and links must land world-readable (0644) regardless of the
+// process umask: os.CreateTemp creates 0600, and without the explicit Chmod
+// a store written under one uid is unreadable to the tooling that serves it.
+func TestDiskStoreObjectPermissions(t *testing.T) {
+	st, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := st.Put([]byte("readable"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Link(KeyOf([]byte("name")), k); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{
+		st.path("objects", k),
+		st.path("links", KeyOf([]byte("name"))),
+	} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fi.Mode().Perm(); got != 0o644 {
+			t.Errorf("%s mode = %04o, want 0644", path, got)
+		}
+	}
+}
+
+// A failed writeAtomic must not leave .tmp-* litter behind: temp files that
+// survive failed writes accumulate in the prefix directories and show up in
+// (and corrupt the determinism of) directory scans.
+func TestWriteAtomicNoTempLitterOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := KeyOf([]byte("victim"))
+	target := st.path("objects", k)
+	// Make the rename fail: the destination path is a non-empty directory.
+	if err := os.MkdirAll(filepath.Join(target, "occupied"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.writeAtomic(target, []byte("victim")); err == nil {
+		t.Fatal("writeAtomic succeeded over a non-empty directory")
+	}
+	entries, err := os.ReadDir(filepath.Dir(target))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Errorf("temp file litter after failed write: %s", e.Name())
+		}
 	}
 }
 
@@ -487,6 +546,99 @@ func TestReadJournalTornTail(t *testing.T) {
 	// A torn interior line is a real error.
 	if _, err := ReadJournal(strings.NewReader(`{"bad` + "\n" + good + "\n")); err == nil {
 		t.Fatal("interior corruption accepted")
+	}
+}
+
+// failingWriter accepts n writes, then fails every subsequent one,
+// counting the attempts it keeps receiving after the first failure.
+type failingWriter struct {
+	mu           sync.Mutex
+	remaining    int
+	afterFailure int
+	failed       bool
+}
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failed {
+		f.afterFailure++
+		return 0, errors.New("stream already broken")
+	}
+	if f.remaining == 0 {
+		f.failed = true
+		return 0, errors.New("disk full")
+	}
+	f.remaining--
+	return len(p), nil
+}
+
+// A failing journal writer must surface via Err without corrupting the
+// in-memory entries — and once the stream has failed, no further bytes may
+// be sent to it (a short write may have torn its last line; piling more
+// lines on top guarantees interior corruption that ReadJournal rejects).
+func TestJournalFailingWriter(t *testing.T) {
+	fw := &failingWriter{remaining: 3}
+	j := NewJournal(fw)
+	for i := 0; i < 10; i++ {
+		j.Append(Entry{Run: "r", Workflow: "w", Step: fmt.Sprintf("s%d", i), Key: KeyOf([]byte{byte(i)}), Status: StatusExecuted})
+	}
+	if j.Err() == nil {
+		t.Fatal("write failure not surfaced via Err")
+	}
+	entries := j.Entries()
+	if len(entries) != 10 {
+		t.Fatalf("in-memory entries = %d, want 10 (writer failure must not drop records)", len(entries))
+	}
+	for i, e := range entries {
+		if e.Seq != i+1 || e.Step != fmt.Sprintf("s%d", i) {
+			t.Fatalf("entry %d corrupted: %+v", i, e)
+		}
+	}
+	if fw.afterFailure != 0 {
+		t.Errorf("%d writes attempted on the broken stream after the first failure", fw.afterFailure)
+	}
+}
+
+// Concurrent appends racing a writer failure: every entry still lands in
+// memory with a unique Seq, the first error is pinned, and the broken
+// stream receives nothing further.
+func TestJournalConcurrentAppendFailingWriter(t *testing.T) {
+	fw := &failingWriter{remaining: 5}
+	j := NewJournal(fw)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				j.Append(Entry{Run: "r", Workflow: "w", Step: fmt.Sprintf("g%d-s%d", g, i), Status: StatusExecuted})
+			}
+		}()
+	}
+	wg.Wait()
+	if j.Err() == nil {
+		t.Fatal("write failure not surfaced")
+	}
+	entries := j.Entries()
+	if len(entries) != 400 {
+		t.Fatalf("entries = %d, want 400", len(entries))
+	}
+	seen := map[int]bool{}
+	for _, e := range entries {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate Seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+	for s := 1; s <= 400; s++ {
+		if !seen[s] {
+			t.Fatalf("Seq %d missing", s)
+		}
+	}
+	if fw.afterFailure != 0 {
+		t.Errorf("%d writes reached the broken stream after the first failure", fw.afterFailure)
 	}
 }
 

@@ -50,13 +50,18 @@ type Journal struct {
 // only).
 func NewJournal(w io.Writer) *Journal { return &Journal{w: w} }
 
-// Append records an entry, assigning its sequence number.
+// Append records an entry, assigning its sequence number. The in-memory
+// record always grows — a failing writer never corrupts or drops entries —
+// but once a write has failed the underlying stream is suspect (a short
+// write may have torn its last line), so no further bytes are sent to it;
+// the first error stays pinned for Err and callers decide whether to
+// re-journal from Entries via WriteCanonical.
 func (j *Journal) Append(e Entry) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	e.Seq = len(j.entries) + 1
 	j.entries = append(j.entries, e)
-	if j.w == nil {
+	if j.w == nil || j.err != nil {
 		return
 	}
 	data, err := json.Marshal(e)
@@ -64,7 +69,7 @@ func (j *Journal) Append(e Entry) {
 		data = append(data, '\n')
 		_, err = j.w.Write(data)
 	}
-	if err != nil && j.err == nil {
+	if err != nil {
 		j.err = err
 	}
 }

@@ -221,25 +221,60 @@ func (d *DiskStore) path(kind string, k Key) string {
 	return filepath.Join(d.base, kind, string(k[:2]), string(k[2:]))
 }
 
-// writeAtomic writes data to path via temp file + rename.
+// writeAtomic writes data to path via temp file + rename, durably: the temp
+// file is fsynced before the rename (so the rename can never publish a name
+// whose bytes are still in the page cache when power fails) and the parent
+// directory is fsynced after it (so the directory entry itself survives a
+// crash). Objects land world-readable (0o644) regardless of the process
+// umask — CreateTemp's 0o600 default would make a store written by one user
+// unreadable to the review tooling that later serves it. Every failure path
+// removes the temp file; a failed write leaves no .tmp-* litter behind.
 func (d *DiskStore) writeAtomic(path string, data []byte) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(data); err != nil {
+	cleanup := func(err error) error {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable, not merely
+// present in the in-memory dentry cache.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Put implements Store.

@@ -1,0 +1,193 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/exp"
+	"repro/internal/serve"
+)
+
+// synthNames are the experiments the load tests play against.
+var synthNames = []string{
+	"synth/alpha", "synth/beta", "synth/gamma",
+	"synth/delta", "synth/epsilon", "synth/zeta",
+}
+
+// synthRegistry builds a registry of small deterministic experiments whose
+// artifacts derive entirely from Env.Rng.
+func synthRegistry(t testing.TB) *exp.Registry {
+	t.Helper()
+	reg := exp.NewRegistry()
+	for i, name := range synthNames {
+		rows := 16 + 8*i
+		err := reg.Register(exp.Experiment{
+			Spec: exp.Spec{Name: name, Params: map[string]any{"rows": rows}},
+			Desc: "synthetic table",
+			Run: func(_ context.Context, env *exp.Env, spec exp.Spec) (*exp.Result, error) {
+				r := env.Rng(spec.Name)
+				var sb strings.Builder
+				sum := 0.0
+				n := spec.Params["rows"].(int)
+				for j := 0; j < n; j++ {
+					v := r.Float64()
+					sum += v
+					fmt.Fprintf(&sb, "%d,%.9f\n", j, v)
+				}
+				return &exp.Result{
+					Artifacts: map[string]string{
+						"table.csv":   sb.String(),
+						"summary.txt": fmt.Sprintf("rows=%d sum=%.9f\n", n, sum),
+					},
+					Metrics: map[string]float64{"rows": float64(n), "sum": sum},
+				}, nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reg
+}
+
+// runLoad replays the standard profile against a fresh server with the
+// given worker count and returns the report.
+func runLoad(t testing.TB, workers, requests int) Report {
+	t.Helper()
+	sim := clock.NewSim(9)
+	srv, err := serve.NewServer(serve.Config{
+		Registry:   synthRegistry(t),
+		Clock:      sim,
+		Seed:       11,
+		Workers:    workers,
+		QueueDepth: 64,
+		Cost:       serve.NewCostModel(5, 4, 0.025),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rep, err := Run(srv, sim, DefaultProfile(requests, 13, synthNames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// The tentpole acceptance test: a large synthetic request stream on
+// clock.Sim yields a byte-identical /metrics exposition across independent
+// runs AND across server worker counts 1/4/8 — the serving stack keeps the
+// repository's worker-count-invariance contract. A full run is a million
+// requests; under the race detector the stream shrinks to keep wall time
+// sane (the invariance is identical, only the sample is smaller).
+func TestLoadDeterministicAcrossRunsAndWorkers(t *testing.T) {
+	requests := 1_000_000
+	if raceEnabled {
+		requests = 50_000
+	} else if testing.Short() {
+		requests = 100_000
+	}
+
+	base := runLoad(t, 4, requests)
+	if base.Requests != requests {
+		t.Fatalf("drove %d requests, want %d", base.Requests, requests)
+	}
+	again := runLoad(t, 4, requests)
+	if base.Prom != again.Prom {
+		t.Fatalf("PromText differs between identical runs (len %d vs %d)", len(base.Prom), len(again.Prom))
+	}
+	for _, w := range []int{1, 8} {
+		other := runLoad(t, w, requests)
+		if other.Prom != base.Prom {
+			t.Fatalf("PromText differs between 4 and %d workers (len %d vs %d)", w, len(base.Prom), len(other.Prom))
+		}
+		if other.Latency != base.Latency {
+			t.Fatalf("latency stats differ between 4 and %d workers: %+v vs %+v", w, base.Latency, other.Latency)
+		}
+	}
+
+	// The mix exercised every answer class, including admission rejections
+	// during bursts, and the latency distribution has a real tail.
+	if base.Rejected == 0 || base.Codes[429] != base.Rejected {
+		t.Fatalf("bursts produced no 429s: codes=%v", base.Codes)
+	}
+	if base.Codes[200] == 0 || base.Codes[400] == 0 || base.Codes[404] == 0 {
+		t.Fatalf("mix missing answer classes: %v", base.Codes)
+	}
+	if base.Latency.P99 <= base.Latency.P50 || base.Latency.P50 <= 0 {
+		t.Fatalf("degenerate latency distribution: %+v", base.Latency)
+	}
+	total := 0
+	for _, n := range base.Codes {
+		total += n
+	}
+	if total != requests {
+		t.Fatalf("code tally %d != %d requests", total, requests)
+	}
+	for _, want := range []string{"serve_req_status", "serve_req_artifact", "serve_code_429", "exp_misses 6"} {
+		if !strings.Contains(base.Prom, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestDriverTallies(t *testing.T) {
+	rep := runLoad(t, 2, 20_000)
+	eps := 0
+	for _, n := range rep.Endpoints {
+		eps += n
+	}
+	if eps != 20_000 || rep.Requests != 20_000 {
+		t.Fatalf("endpoint tally %d, requests %d", eps, rep.Requests)
+	}
+	// The weighted mix lands near its nominal shares (status 60%).
+	if s := rep.Endpoints["status"]; s < 10_000 || s > 14_000 {
+		t.Errorf("status share = %d of 20000", s)
+	}
+	if rep.Endpoints["bad"] == 0 || rep.Endpoints["list"] == 0 {
+		t.Errorf("mix skipped endpoints: %v", rep.Endpoints)
+	}
+	if rep.Latency.N == 0 || rep.Latency.Max < rep.Latency.P99 {
+		t.Errorf("latency stats inconsistent: %+v", rep.Latency)
+	}
+}
+
+func TestNewDriverRejectsUnknownName(t *testing.T) {
+	sim := clock.NewSim(1)
+	srv, err := serve.NewServer(serve.Config{Registry: synthRegistry(t), Clock: sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	_, err = NewDriver(srv, sim, DefaultProfile(10, 1, []string{"no/such/experiment"}))
+	if err == nil {
+		t.Fatal("unknown experiment accepted in warmup")
+	}
+	if _, err := NewDriver(srv, sim, Profile{Requests: 1}); err == nil {
+		t.Fatal("empty name list accepted")
+	}
+}
+
+// Without a CostModel the replay still works (no 429s, no latency stats) —
+// the mode cmd/smsd uses when load-testing against a daemon-style config.
+func TestRunWithoutCostModel(t *testing.T) {
+	sim := clock.NewSim(2)
+	srv, err := serve.NewServer(serve.Config{Registry: synthRegistry(t), Clock: sim, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rep, err := Run(srv, sim, DefaultProfile(5_000, 3, synthNames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejected != 0 || rep.Latency.N != 0 {
+		t.Fatalf("cost-model artifacts without a cost model: %+v", rep)
+	}
+	if rep.Codes[200] == 0 {
+		t.Fatalf("codes = %v", rep.Codes)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package loadgen
+
+// raceEnabled scales the million-request determinism test down when the
+// race detector is active (same idiom as internal/par).
+const raceEnabled = false

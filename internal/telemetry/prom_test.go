@@ -68,6 +68,41 @@ func TestPromTextWorkerCountInvariant(t *testing.T) {
 	}
 }
 
+// Regression: PromText sorts sample values to render canonical quantiles.
+// That sort must operate on a private copy — if it aliased the registry's
+// backing array, the first rendering would silently reorder the observation
+// history every later reader sees.
+func TestPromTextDoesNotMutate(t *testing.T) {
+	r := NewWithClock(clock.NewSim(1))
+	in := []float64{3, 1, 2}
+	for _, v := range in {
+		r.Observe("s", v)
+	}
+	_ = r.PromText()
+	_ = r.PromText()
+	samples := r.Samples("s")
+	for i, smp := range samples {
+		if smp.V != in[i] {
+			t.Fatalf("observation order mutated by PromText: sample[%d] = %v, want %v (all: %+v)", i, smp.V, in[i], samples)
+		}
+	}
+	// SeriesValues hands out an independent slice: sorting it must not leak
+	// back into the registry either.
+	vs := r.SeriesValues("s")
+	sortFloats(vs)
+	if got := r.SeriesValues("s"); got[0] != 3 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("SeriesValues aliases the registry: %v", got)
+	}
+}
+
+func sortFloats(vs []float64) {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}
+
 func TestPromName(t *testing.T) {
 	for in, want := range map[string]string{
 		"faas.response_s":  "faas_response_s",

@@ -112,14 +112,19 @@ func (r *Registry) DeclareSeries(name string) {
 }
 
 // Observe appends a sample to a series (e.g. a latency), stamped with the
-// registry clock.
+// registry clock. Appending is amortized O(1): the backing slice may grow to
+// twice SeriesCap before the window is copied down in one step, so a
+// million-observation stream (the serve load generator) costs one slot write
+// per sample instead of an O(SeriesCap) shift on every overflowing append.
+// Readers never see the slack — every accessor goes through window, which
+// exposes only the trailing SeriesCap samples.
 func (r *Registry) Observe(name string, v float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	now := r.clk.Now()
 	s := append(r.series[name], Sample{V: v, At: now})
-	if r.SeriesCap > 0 && len(s) > r.SeriesCap {
-		if cap(s) > 2*r.SeriesCap {
+	if r.SeriesCap > 0 && len(s) >= 2*r.SeriesCap {
+		if cap(s) > 4*r.SeriesCap {
 			// Oversized backing array (e.g. SeriesCap was lowered after
 			// samples accumulated): copy into a fresh slice so the old
 			// array can be collected instead of being pinned by a
@@ -128,8 +133,8 @@ func (r *Registry) Observe(name string, v float64) {
 			copy(fresh, s[len(s)-r.SeriesCap:])
 			s = fresh
 		} else {
-			// Shift the window down in place: keeps capacity bounded by
-			// one append-growth step above SeriesCap without allocating.
+			// Shift the window down in place: one O(SeriesCap) copy per
+			// SeriesCap appends, no allocation.
 			copy(s, s[len(s)-r.SeriesCap:])
 			s = s[:r.SeriesCap]
 		}
@@ -138,8 +143,19 @@ func (r *Registry) Observe(name string, v float64) {
 	r.last[name] = now
 }
 
-// Samples returns a copy of a series' timestamped samples (nil if the
-// series does not exist).
+// window returns the visible tail of a bounded series: the most recent
+// SeriesCap samples. The amortized trim in Observe can leave up to one extra
+// window of dropped samples in the backing array; every reader routes
+// through here so that slack is never observable. Callers hold r.mu.
+func (r *Registry) window(s []Sample) []Sample {
+	if r.SeriesCap > 0 && len(s) > r.SeriesCap {
+		return s[len(s)-r.SeriesCap:]
+	}
+	return s
+}
+
+// Samples returns a copy of a series' visible timestamped samples (nil if
+// the series does not exist).
 func (r *Registry) Samples(name string) []Sample {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -147,7 +163,20 @@ func (r *Registry) Samples(name string) []Sample {
 	if !ok {
 		return nil
 	}
-	return append([]Sample(nil), s...)
+	return append([]Sample(nil), r.window(s)...)
+}
+
+// SeriesValues returns a copy of a series' visible sample values, oldest
+// first (nil if the series does not exist). The slice is the caller's to
+// sort or mutate — it never aliases the registry's backing array.
+func (r *Registry) SeriesValues(name string) []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.series[name]
+	if !ok {
+		return nil
+	}
+	return values(r.window(s))
 }
 
 // LastUpdate returns when a metric was last written (zero time if never).
@@ -157,7 +186,10 @@ func (r *Registry) LastUpdate(name string) time.Time {
 	return r.last[name]
 }
 
-// values extracts the sample values of a series. Callers hold r.mu.
+// values extracts the sample values of a series into a fresh slice. Callers
+// hold r.mu. The copy is load-bearing: PromText sorts what it receives, and
+// handing it the live backing array would silently reorder the registry's
+// observation history (the aliasing bug pinned by TestPromTextDoesNotMutate).
 func values(s []Sample) []float64 {
 	out := make([]float64, len(s))
 	for i, smp := range s {
@@ -166,10 +198,10 @@ func values(s []Sample) []float64 {
 	return out
 }
 
-// Summary returns the descriptive statistics of a series.
+// Summary returns the descriptive statistics of a series' visible window.
 func (r *Registry) Summary(name string) (stats.Summary, error) {
 	r.mu.Lock()
-	samples := values(r.series[name])
+	samples := values(r.window(r.series[name]))
 	r.mu.Unlock()
 	return stats.Summarize(samples)
 }
@@ -196,7 +228,7 @@ func (r *Registry) Snapshot() Snapshot {
 		Gauges:     make(map[string]float64, len(r.gauges)),
 		Series:     make(map[string]stats.Summary, len(r.series)),
 		LastUpdate: make(map[string]time.Time, len(r.last)),
-		SpanCount:  len(r.spans),
+		SpanCount:  len(r.spanWindow()),
 	}
 	for k, v := range r.counters {
 		snap.Counters[k] = v
@@ -205,7 +237,7 @@ func (r *Registry) Snapshot() Snapshot {
 		snap.Gauges[k] = v
 	}
 	for k, s := range r.series {
-		sum, err := stats.Summarize(values(s))
+		sum, err := stats.Summarize(values(r.window(s)))
 		if err != nil {
 			// Empty (declared-only) series: keep a zero-count entry so the
 			// metric stays visible instead of being dropped without trace.

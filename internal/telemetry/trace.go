@@ -29,13 +29,16 @@ type Span struct {
 func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
 
 // RecordSpan appends a finished span to the registry, dropping the oldest
-// when SpanCap is exceeded (same bounded-window policy as series).
+// when SpanCap is exceeded (same amortized bounded-window policy as series:
+// the slice may grow to twice SpanCap before one copy-down, so per-request
+// spans on the serve hot path cost O(1) amortized, and readers window the
+// tail so the slack is never visible).
 func (r *Registry) RecordSpan(sp Span) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := append(r.spans, sp)
-	if r.SpanCap > 0 && len(s) > r.SpanCap {
-		if cap(s) > 2*r.SpanCap {
+	if r.SpanCap > 0 && len(s) >= 2*r.SpanCap {
+		if cap(s) > 4*r.SpanCap {
 			fresh := make([]Span, r.SpanCap)
 			copy(fresh, s[len(s)-r.SpanCap:])
 			s = fresh
@@ -45,6 +48,15 @@ func (r *Registry) RecordSpan(sp Span) {
 		}
 	}
 	r.spans = s
+}
+
+// spanWindow returns the visible tail of the span record: the most recent
+// SpanCap spans. Callers hold r.mu.
+func (r *Registry) spanWindow() []Span {
+	if r.SpanCap > 0 && len(r.spans) > r.SpanCap {
+		return r.spans[len(r.spans)-r.SpanCap:]
+	}
+	return r.spans
 }
 
 // ActiveSpan is an in-flight span returned by StartSpan.
@@ -75,7 +87,7 @@ func (a *ActiveSpan) End(err error) {
 // recording order, so renderings of the same span multiset are identical.
 func (r *Registry) Spans() []Span {
 	r.mu.Lock()
-	out := append([]Span(nil), r.spans...)
+	out := append([]Span(nil), r.spanWindow()...)
 	r.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -96,11 +108,11 @@ func (r *Registry) Spans() []Span {
 	return out
 }
 
-// SpanCount returns the number of retained spans.
+// SpanCount returns the number of retained (visible) spans.
 func (r *Registry) SpanCount() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.spans)
+	return len(r.spanWindow())
 }
 
 // TraceText renders the spans one per line in canonical order, with start

@@ -73,8 +73,10 @@ func TestSpanCapBounded(t *testing.T) {
 	r.mu.Lock()
 	c := cap(r.spans)
 	r.mu.Unlock()
-	if c > 2*r.SpanCap {
-		t.Errorf("span capacity %d exceeds bound %d", c, 2*r.SpanCap)
+	// The amortized trim allows up to one hidden window of slack beyond the
+	// visible SpanCap spans.
+	if c > 4*r.SpanCap {
+		t.Errorf("span capacity %d exceeds bound %d", c, 4*r.SpanCap)
 	}
 	// Oldest dropped: the first retained span starts at t=92.
 	if got := clock.Seconds(r.Spans()[0].Start); got != 92 {
