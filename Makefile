@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race audit clockgate randgate experiments bench bench-compare bench-kernels bench-gate bench-cache bench-events bench-serve artifacts examples outputs clean
+.PHONY: all build vet test race audit clockgate randgate experiments regress bench bench-compare bench-kernels bench-gate bench-cache bench-events bench-serve bench-runpack artifacts examples outputs clean
 
 # audit (vet + race + clock gate + rand gate) is part of all: the parallel
 # substrate (internal/par) and every hot path wired onto it must stay clean
@@ -13,11 +13,13 @@ GO ?= go
 # bench-cache records the cold-vs-warm content-addressed report build;
 # bench-serve records the smsd serving-path benchmarks (throughput and
 # modeled latency quantiles included);
-# bench-gate re-measures the kernel, serving and cas benchmarks and fails
-# the build if any regresses >10% ns/op (or allocs/op) against the
-# committed BENCH_kernels.json / BENCH_serve.json / BENCH_cas.json
-# baselines; bench-events records the event-engine and sweep benchmarks.
-all: build test audit experiments bench-cache bench-serve bench-gate bench-events
+# bench-gate re-measures the kernel, serving, cas and runpack benchmarks
+# and fails the build if any regresses against the committed
+# BENCH_kernels.json / BENCH_serve.json / BENCH_cas.json /
+# BENCH_runpack.json baselines; bench-events records the event-engine and
+# sweep benchmarks; regress re-executes the committed golden runpacks at
+# workers 1, 4 and 8 and fails on any byte of material drift (DESIGN.md §8).
+all: build test audit experiments regress bench-cache bench-serve bench-gate bench-events
 
 build:
 	$(GO) build ./...
@@ -53,7 +55,8 @@ clockgate:
 # determinism obligations of DESIGN.md §6 apply to all of them.
 EXP_PKGS = internal/exp internal/experiments internal/scenarios internal/report \
 	internal/orchestrator internal/ppc internal/pmu internal/bigdata \
-	internal/fog internal/edgeml internal/serve examples cmd
+	internal/fog internal/edgeml internal/serve internal/runpack internal/jcs \
+	examples cmd
 
 # Enforce the experiment randomness contract: experiment-registered packages
 # (and the examples/CLIs that drive them) must derive every random stream
@@ -74,6 +77,12 @@ randgate:
 # report build, orchestrator sweeps and continuum what-ifs.
 experiments:
 	$(GO) run ./cmd/smsreport -run all
+
+# The reproducibility gate: verify the committed golden runpacks, re-execute
+# each one's Spec from its sealed manifest at three worker counts, and fail
+# on any material drift (artifact bytes, metrics, fingerprint, seeds).
+regress:
+	$(GO) run ./cmd/runpack regress -workers 1,4,8 goldens/runpacks
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -169,6 +178,9 @@ bench-gate:
 	$(GO) test -run '^$$' -bench 'ReportBuild(Cold|Warm)$$' -count 3 ./internal/report | tee bench_gate.txt
 	$(CAS_TO_JSON) bench_gate.txt > bench_gate_head.json
 	$(GO) run ./cmd/benchdiff -threshold 0.10 BENCH_cas.json bench_gate_head.json
+	$(GO) test -run '^$$' -bench '$(RUNPACK_BENCH_RE)' -benchmem -count 5 $(RUNPACK_BENCH_PKGS) | tee bench_gate.txt
+	$(BENCH_TO_JSON) bench_gate.txt > bench_gate_head.json
+	$(GO) run ./cmd/benchdiff -threshold 0.25 -alloc-threshold 0.10 BENCH_runpack.json bench_gate_head.json
 	@rm -f bench_gate.txt bench_gate_head.json
 
 # The discrete-event engine and million-event sweep benchmarks: the engine
@@ -183,6 +195,18 @@ bench-events:
 	$(GO) test -run '^$$' -bench '$(EVENT_BENCH_RE)' -benchmem $(EVENT_BENCH_PKGS) | tee bench_events.txt
 	$(BENCH_TO_JSON) bench_events.txt > BENCH_events.json
 	@echo wrote BENCH_events.json
+
+# The runpack seal/verify hot paths gated by bench-gate: canonical-JSON
+# manifest encoding + blob digesting (Pack), full HMAC verification, and
+# full ed25519 verification.
+RUNPACK_BENCH_RE = Runpack(Pack|Verify|VerifyEd25519)$$
+RUNPACK_BENCH_PKGS = ./internal/runpack
+
+# Refresh the committed runpack-benchmark baseline (BENCH_runpack.json).
+bench-runpack:
+	$(GO) test -run '^$$' -bench '$(RUNPACK_BENCH_RE)' -benchmem -count 5 $(RUNPACK_BENCH_PKGS) | tee bench_runpack.txt
+	$(BENCH_TO_JSON) bench_runpack.txt > BENCH_runpack.json
+	@echo wrote BENCH_runpack.json
 
 # Convert the report-build benchmark output into the cas benchmark record:
 # ns/op plus the cached-step count, deliberately *without* allocs/op (the
@@ -234,4 +258,4 @@ clean:
 	rm -rf artifacts/ test_output.txt bench_output.txt bench_par.txt BENCH_par.json \
 		bench_kernels.txt BENCH_kernels.json bench_cas.txt BENCH_cas.json \
 		bench_gate.txt bench_gate_head.json bench_events.txt BENCH_events.json \
-		bench_serve.txt BENCH_serve.json
+		bench_serve.txt BENCH_serve.json bench_runpack.txt BENCH_runpack.json

@@ -53,6 +53,7 @@ func run(args []string, out io.Writer) error {
 		jsonOut  = fs.Bool("json", false, "with -run: emit the experiment Result as JSON")
 		workers  = fs.Int("workers", 0, "with -run: bound the experiment worker pool (0 = default; results identical for any value)")
 		cacheDir = fs.String("cache", "", "with -run: content-addressed store directory for experiment memoization")
+		packDir  = fs.String("runpack", "", "with -run: seal each executed experiment into a signed runpack under this directory (cmd/runpack verifies)")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = fs.String("memprofile", "", "write a pprof allocation profile after the run to this file")
 	)
@@ -86,7 +87,7 @@ func run(args []string, out io.Writer) error {
 	}
 	cliOpts := experiments.CLIOptions{
 		List: *listExp, Run: *runExp, JSON: *jsonOut,
-		Seed: *seed, Workers: *workers, Cache: *cacheDir,
+		Seed: *seed, Workers: *workers, Cache: *cacheDir, Runpack: *packDir,
 	}
 	if cliOpts.Active() {
 		reg, err := experiments.Default()

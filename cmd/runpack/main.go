@@ -1,0 +1,343 @@
+// Command runpack packs, verifies, diffs, and regresses sealed run
+// artifacts (internal/runpack) over the repository's experiment registry.
+//
+// Usage:
+//
+//	runpack pack -run continuum/io -seed 1 -out goldens/runpacks
+//	runpack pack -run all -out packs/             # seal the whole registry
+//	runpack verify goldens/runpacks/continuum__io # dev key by default
+//	runpack verify -pubkey <hex> bundle.json      # offline, public key only
+//	runpack diff goldens/runpacks/continuum__io packs/continuum__io
+//	runpack regress -workers 1,4,8 goldens/runpacks
+//
+// regress is the reproducibility gate: every golden pack's Spec is
+// re-executed from its manifest (same root seed, no cache) at each worker
+// count, and any byte of material drift — artifact bytes, metrics,
+// fingerprint, seeds — fails the command. Provenance-only drift (cache
+// state, engine version) is reported but tolerated.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/clock"
+	"repro/internal/exp"
+	"repro/internal/experiments"
+	"repro/internal/par"
+	"repro/internal/runpack"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "runpack:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: runpack <pack|verify|diff|regress> [flags] [args]")
+	}
+	switch args[0] {
+	case "pack":
+		return packCmd(args[1:], out)
+	case "verify":
+		return verifyCmd(args[1:], out)
+	case "diff":
+		return diffCmd(args[1:], out)
+	case "regress":
+		return regressCmd(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (pack, verify, diff, regress)", args[0])
+	}
+}
+
+// keyFlags registers the shared signing/verification key flags on fs.
+type keyFlags struct {
+	hmac     *string
+	ed25519  *string
+	pubkey   *string
+	insecure *bool
+}
+
+func addKeyFlags(fs *flag.FlagSet, withVerifyOnly bool) keyFlags {
+	k := keyFlags{
+		hmac:    fs.String("hmac", "", "sign/verify with HMAC-SHA256 over this secret (default: the documented dev key)"),
+		ed25519: fs.String("ed25519", "", "sign/verify with an ed25519 key derived from this material"),
+	}
+	if withVerifyOnly {
+		k.pubkey = fs.String("pubkey", "", "verify an ed25519 signature with only this hex public key")
+		k.insecure = fs.Bool("insecure", false, "skip signature verification (integrity-only: digests still checked)")
+	}
+	return k
+}
+
+// signingKey resolves the key flags to a signing key.
+func (k keyFlags) signingKey() (runpack.Key, error) {
+	switch {
+	case *k.hmac != "" && *k.ed25519 != "":
+		return runpack.Key{}, fmt.Errorf("-hmac and -ed25519 are mutually exclusive")
+	case *k.hmac != "":
+		return runpack.NewHMACKey([]byte(*k.hmac)), nil
+	case *k.ed25519 != "":
+		return runpack.NewEd25519Key([]byte(*k.ed25519)), nil
+	default:
+		return runpack.DevKey(), nil
+	}
+}
+
+// verifyOpts resolves the key flags to verification options.
+func (k keyFlags) verifyOpts() (runpack.VerifyOpts, error) {
+	if k.pubkey != nil && *k.pubkey != "" {
+		if *k.hmac != "" || *k.ed25519 != "" {
+			return runpack.VerifyOpts{}, fmt.Errorf("-pubkey excludes -hmac/-ed25519")
+		}
+		return runpack.VerifyOpts{PubKey: *k.pubkey}, nil
+	}
+	if k.insecure != nil && *k.insecure {
+		return runpack.VerifyOpts{SkipSignature: true}, nil
+	}
+	key, err := k.signingKey()
+	if err != nil {
+		return runpack.VerifyOpts{}, err
+	}
+	return runpack.VerifyOpts{Key: &key}, nil
+}
+
+// loadPack reads a pack from a WriteDir directory or an EncodeBundle file.
+func loadPack(path string) (*runpack.Pack, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if info.IsDir() {
+		return runpack.ReadDir(path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return runpack.DecodeBundle(data)
+}
+
+// regressEnv builds the storeless Env a manifest's Spec re-executes under:
+// everything derives from the manifest's root seed, so a conforming
+// experiment must reproduce the sealed bytes at any worker count.
+func regressEnv(rootSeed int64, workers int) *exp.Env {
+	sim := clock.NewSim(rootSeed)
+	env := &exp.Env{Seed: rootSeed, Clock: sim, Metrics: telemetry.NewWithClock(sim)}
+	if workers > 0 {
+		env.Par = []par.Option{par.Workers(workers)}
+	}
+	return env
+}
+
+func packCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("runpack pack", flag.ContinueOnError)
+	name := fs.String("run", "", "experiment to seal (\"all\" = whole registry)")
+	seed := fs.Int64("seed", 1, "root Env seed")
+	outDir := fs.String("out", "runpacks", "directory to write pack subdirectories under")
+	keys := addKeyFlags(fs, false)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("pack: -run NAME is required (see smsreport -list)")
+	}
+	key, err := keys.signingKey()
+	if err != nil {
+		return err
+	}
+	reg, err := experiments.Default()
+	if err != nil {
+		return err
+	}
+	names := []string{*name}
+	if *name == "all" {
+		names = reg.Names()
+	}
+	env := regressEnv(*seed, 0)
+	for _, n := range names {
+		_, pack, err := reg.RunPacked(context.Background(), env, n, key)
+		if err != nil {
+			return err
+		}
+		dir := filepath.Join(*outDir, experiments.PackDirName(n))
+		if err := pack.WriteDir(dir); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "packed %-34s %s  %s\n", n, pack.ID[:12], dir)
+	}
+	return nil
+}
+
+func verifyCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("runpack verify", flag.ContinueOnError)
+	keys := addKeyFlags(fs, true)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("verify: need at least one pack directory or bundle file")
+	}
+	opts, err := keys.verifyOpts()
+	if err != nil {
+		return err
+	}
+	for _, path := range fs.Args() {
+		pack, err := loadPack(path)
+		if err != nil {
+			return err
+		}
+		if err := pack.Verify(opts); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Fprintf(out, "ok %-34s %s\n", pack.Manifest.Experiment, pack.ID[:12])
+	}
+	return nil
+}
+
+func diffCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("runpack diff", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff: need exactly two packs (reference, candidate)")
+	}
+	a, err := loadPack(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := loadPack(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	d := runpack.Diff(a, b)
+	fmt.Fprint(out, d.Text())
+	if d.Material {
+		return fmt.Errorf("material drift between %s and %s", fs.Arg(0), fs.Arg(1))
+	}
+	return nil
+}
+
+// goldenDirs expands each argument into pack directories: an argument that
+// is itself a pack (has manifest.json) stands alone; otherwise its
+// immediate subdirectories holding a manifest are the goldens, sorted.
+func goldenDirs(paths []string) ([]string, error) {
+	var dirs []string
+	for _, p := range paths {
+		if _, err := os.Stat(filepath.Join(p, "manifest.json")); err == nil {
+			dirs = append(dirs, p)
+			continue
+		}
+		entries, err := os.ReadDir(p)
+		if err != nil {
+			return nil, err
+		}
+		found := 0
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			sub := filepath.Join(p, e.Name())
+			if _, err := os.Stat(filepath.Join(sub, "manifest.json")); err == nil {
+				dirs = append(dirs, sub)
+				found++
+			}
+		}
+		if found == 0 {
+			return nil, fmt.Errorf("regress: %s holds no runpack (no manifest.json at or below it)", p)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("regress: bad -workers value %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func regressCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("runpack regress", flag.ContinueOnError)
+	workersList := fs.String("workers", "1,4,8", "comma-separated worker counts to re-execute at")
+	keys := addKeyFlags(fs, true)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("regress: need at least one golden pack directory")
+	}
+	opts, err := keys.verifyOpts()
+	if err != nil {
+		return err
+	}
+	workers, err := parseWorkers(*workersList)
+	if err != nil {
+		return err
+	}
+	dirs, err := goldenDirs(fs.Args())
+	if err != nil {
+		return err
+	}
+	reg, err := experiments.Default()
+	if err != nil {
+		return err
+	}
+	failures := 0
+	for _, dir := range dirs {
+		golden, err := loadPack(dir)
+		if err != nil {
+			return err
+		}
+		// The golden must be intact before it can gate anything.
+		if err := golden.Verify(opts); err != nil {
+			return fmt.Errorf("%s: golden does not verify: %w", dir, err)
+		}
+		name := golden.Manifest.Experiment
+		for _, w := range workers {
+			env := regressEnv(golden.Manifest.RootSeed, w)
+			res, err := reg.Run(context.Background(), env, name)
+			if err != nil {
+				return fmt.Errorf("%s: re-executing %s: %w", dir, name, err)
+			}
+			cand, err := reg.Seal(res, env, runpack.DevKey())
+			if err != nil {
+				return err
+			}
+			d := runpack.Diff(golden, cand)
+			if d.Material {
+				failures++
+				fmt.Fprintf(out, "FAIL %-34s workers=%d\n%s", name, w, d.Text())
+				continue
+			}
+			status := "ok"
+			if d.Provenance {
+				status = "ok (provenance drift)"
+			}
+			fmt.Fprintf(out, "regress %-34s workers=%d %s\n", name, w, status)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("regress: %d material drift(s) across %d golden pack(s)", failures, len(dirs))
+	}
+	fmt.Fprintf(out, "regress: %d golden pack(s) reproduce byte-identically at workers %s\n", len(dirs), *workersList)
+	return nil
+}

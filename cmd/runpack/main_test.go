@@ -1,0 +1,167 @@
+package main
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/runpack"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out strings.Builder
+	err := run(args, &out)
+	return out.String(), err
+}
+
+func TestPackVerifyRegressRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out, err := runCLI(t, "pack", "-run", "continuum/io", "-seed", "1", "-out", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "packed continuum/io") {
+		t.Fatalf("pack output: %s", out)
+	}
+	packDir := filepath.Join(dir, "continuum__io")
+
+	if out, err = runCLI(t, "verify", packDir); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if !strings.Contains(out, "ok continuum/io") {
+		t.Fatalf("verify output: %s", out)
+	}
+
+	out, err = runCLI(t, "regress", "-workers", "1,4,8", dir)
+	if err != nil {
+		t.Fatalf("regress: %v\n%s", err, out)
+	}
+	for _, want := range []string{"workers=1 ok", "workers=4 ok", "workers=8 ok"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("regress output missing %q:\n%s", want, out)
+		}
+	}
+
+	if out, err = runCLI(t, "diff", packDir, packDir); err != nil {
+		t.Fatalf("self-diff: %v", err)
+	} else if !strings.Contains(out, "identical") {
+		t.Fatalf("self-diff output: %s", out)
+	}
+}
+
+func TestVerifyRejectsTamperedManifest(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := runCLI(t, "pack", "-run", "continuum/io", "-seed", "1", "-out", dir); err != nil {
+		t.Fatal(err)
+	}
+	mf := filepath.Join(dir, "continuum__io", "manifest.json")
+	data, err := os.ReadFile(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(mf, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCLI(t, "verify", filepath.Join(dir, "continuum__io")); err == nil {
+		t.Fatal("verify accepted a tampered manifest")
+	}
+}
+
+func TestVerifyRejectsFlippedBlobByte(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := runCLI(t, "pack", "-run", "continuum/io", "-seed", "1", "-out", dir); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte of the single artifact blob, wherever the store put it.
+	var blob string
+	blobRoot := filepath.Join(dir, "continuum__io", "blobs")
+	err := filepath.WalkDir(blobRoot, func(path string, d fs.DirEntry, err error) error {
+		// DiskStore shards objects as blobs/objects/<2-hex>/<62-hex>.
+		if err == nil && !d.IsDir() && len(d.Name()) == 62 {
+			blob = path
+		}
+		return err
+	})
+	if err != nil || blob == "" {
+		t.Fatalf("no blob found under %s: %v", blobRoot, err)
+	}
+	data, err := os.ReadFile(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0x01
+	if err := os.WriteFile(blob, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, verr := runCLI(t, "verify", filepath.Join(dir, "continuum__io"))
+	if verr == nil {
+		t.Fatal("verify accepted a flipped artifact byte")
+	}
+	// The regress gate refuses to gate on a corrupt golden.
+	if _, err := runCLI(t, "regress", dir); err == nil {
+		t.Fatal("regress accepted a corrupt golden")
+	}
+}
+
+func TestDiffReportsMaterialDrift(t *testing.T) {
+	a, b := t.TempDir(), t.TempDir()
+	if _, err := runCLI(t, "pack", "-run", "continuum/faas", "-seed", "1", "-out", a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCLI(t, "pack", "-run", "continuum/faas", "-seed", "2", "-out", b); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, "diff", filepath.Join(a, "continuum__faas"), filepath.Join(b, "continuum__faas"))
+	if err == nil {
+		t.Fatal("diff of different seeds reported no material drift")
+	}
+	if !strings.Contains(out, "seed") || !strings.Contains(out, "artifact") {
+		t.Fatalf("diff output does not name the drifted fields:\n%s", out)
+	}
+}
+
+func TestEd25519PackVerifiesWithPublicKeyOnly(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := runCLI(t, "pack", "-run", "continuum/io", "-seed", "1", "-out", dir,
+		"-ed25519", "release signing material"); err != nil {
+		t.Fatal(err)
+	}
+	pub := runpack.NewEd25519Key([]byte("release signing material")).Public()
+	packDir := filepath.Join(dir, "continuum__io")
+	if _, err := runCLI(t, "verify", "-pubkey", pub, packDir); err != nil {
+		t.Fatalf("public-key verify: %v", err)
+	}
+	// The dev key (wrong algo) must not verify it, nor a wrong public key.
+	if _, err := runCLI(t, "verify", packDir); err == nil {
+		t.Fatal("dev-key verify accepted an ed25519 pack")
+	}
+	wrong := runpack.NewEd25519Key([]byte("other")).Public()
+	if _, err := runCLI(t, "verify", "-pubkey", wrong, packDir); err == nil {
+		t.Fatal("wrong public key accepted")
+	}
+	// Integrity-only mode still checks digests.
+	if _, err := runCLI(t, "verify", "-insecure", packDir); err != nil {
+		t.Fatalf("insecure verify: %v", err)
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"frobnicate"},
+		{"pack"},
+		{"verify"},
+		{"diff", "only-one"},
+		{"regress"},
+		{"regress", "-workers", "0", t.TempDir()},
+		{"pack", "-run", "x", "-hmac", "a", "-ed25519", "b"},
+	} {
+		if _, err := runCLI(t, args...); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -18,6 +18,7 @@
 //	GET  /experiments                          registered names + submissions
 //	GET  /experiments/{id}                     poll status
 //	GET  /experiments/{id}/artifacts/{name}    stream one artifact
+//	GET  /experiments/{id}/runpack             sealed, signed runpack bundle
 //	GET  /metrics                              Prometheus text exposition
 //
 // -loadtest runs the internal/serve/loadgen replay instead of listening:
@@ -125,6 +126,9 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "smsd: serving %d experiments on %s\n", reg.Len(), ln.Addr())
+	// Publishing the pack key at startup is what makes every served runpack
+	// verifiable offline: `runpack verify -pubkey <key> <bundle>`.
+	fmt.Fprintf(stdout, "smsd: runpack public key %s\n", srv.PackPublicKey())
 	return http.Serve(ln, srv)
 }
 

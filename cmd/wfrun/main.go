@@ -81,6 +81,7 @@ func run(args []string, out io.Writer) error {
 		runExp     = fs.String("run", "", "run one registered experiment by name (\"all\" = whole registry)")
 		jsonOut    = fs.Bool("json", false, "with -run: emit the experiment Result as JSON")
 		workers    = fs.Int("workers", 0, "with -run: bound the experiment worker pool (0 = default; results identical for any value)")
+		runpackDir = fs.String("runpack", "", "with -run: seal each executed experiment into a signed runpack under this directory (cmd/runpack verifies)")
 		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = fs.String("memprofile", "", "write a pprof allocation profile after the run to this file")
 	)
@@ -114,7 +115,7 @@ func run(args []string, out io.Writer) error {
 	}
 	cliOpts := experiments.CLIOptions{
 		List: *listExp, Run: *runExp, JSON: *jsonOut,
-		Seed: *seed, Workers: *workers, Cache: *storeDir,
+		Seed: *seed, Workers: *workers, Cache: *storeDir, Runpack: *runpackDir,
 	}
 	if cliOpts.Active() {
 		reg, err := experiments.Default()

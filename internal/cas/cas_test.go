@@ -653,3 +653,57 @@ func TestMemoMissingBody(t *testing.T) {
 		t.Fatalf("want ErrNoStore, got %v", err)
 	}
 }
+
+// A journal that hit a write failure resumes cleanly on a fresh stream:
+// Reopen replays the complete in-memory record onto the new writer, clears
+// the pinned error, and subsequent appends stream again — the recovery path
+// the runpack export log leans on.
+func TestJournalReopenAfterError(t *testing.T) {
+	fw := &failingWriter{remaining: 2}
+	j := NewJournal(fw)
+	for i := 0; i < 5; i++ {
+		j.Append(Entry{Run: "r", Workflow: "w", Step: fmt.Sprintf("s%d", i), Key: KeyOf([]byte{byte(i)}), Status: StatusExecuted})
+	}
+	if j.Err() == nil {
+		t.Fatal("write failure not surfaced")
+	}
+
+	var fresh bytes.Buffer
+	if err := j.Reopen(&fresh); err != nil {
+		t.Fatalf("Reopen: %v", err)
+	}
+	if j.Err() != nil {
+		t.Fatalf("Err after Reopen: %v", j.Err())
+	}
+	j.Append(Entry{Run: "r", Workflow: "w", Step: "s5", Key: KeyOf([]byte{5}), Status: StatusExecuted})
+
+	// The new stream is a complete record: all 5 replayed + 1 appended.
+	entries, err := ReadJournal(&fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 6 {
+		t.Fatalf("reopened stream holds %d entries, want 6", len(entries))
+	}
+	for i, e := range entries {
+		if e.Seq != i+1 || e.Step != fmt.Sprintf("s%d", i) {
+			t.Fatalf("entry %d wrong after replay: %+v", i, e)
+		}
+	}
+	if fw.afterFailure != 0 {
+		t.Errorf("%d writes reached the old broken stream after Reopen", fw.afterFailure)
+	}
+
+	// Reopen onto a failing stream pins the replay error again.
+	if err := j.Reopen(&failingWriter{remaining: 1}); err == nil || j.Err() == nil {
+		t.Fatal("replay failure not surfaced")
+	}
+	// And a nil writer turns the journal in-memory only, error cleared.
+	if err := j.Reopen(nil); err != nil || j.Err() != nil {
+		t.Fatal("nil Reopen should clear the error")
+	}
+	j.Append(Entry{Run: "r", Workflow: "w", Step: "s6", Status: StatusExecuted})
+	if got := len(j.Entries()); got != 7 {
+		t.Fatalf("entries = %d, want 7", got)
+	}
+}

@@ -54,8 +54,8 @@ func NewJournal(w io.Writer) *Journal { return &Journal{w: w} }
 // record always grows — a failing writer never corrupts or drops entries —
 // but once a write has failed the underlying stream is suspect (a short
 // write may have torn its last line), so no further bytes are sent to it;
-// the first error stays pinned for Err and callers decide whether to
-// re-journal from Entries via WriteCanonical.
+// the first error stays pinned for Err until the caller swaps in a fresh
+// stream with Reopen (or re-journals from Entries via WriteCanonical).
 func (j *Journal) Append(e Entry) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -72,6 +72,35 @@ func (j *Journal) Append(e Entry) {
 	if err != nil {
 		j.err = err
 	}
+}
+
+// Reopen resumes streaming onto a fresh writer after a write failure: the
+// journal replays every recorded entry onto w in append order — the new
+// stream is a complete record, not a suffix of one — then clears the pinned
+// error so subsequent Appends stream again. The in-memory record is
+// untouched either way; a nil w turns the journal in-memory only. Returns
+// the first replay error (also pinned for Err, exactly like an Append
+// failure on the new stream).
+func (j *Journal) Reopen(w io.Writer) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.w = w
+	j.err = nil
+	if w == nil {
+		return nil
+	}
+	for _, e := range j.entries {
+		data, err := json.Marshal(e)
+		if err == nil {
+			data = append(data, '\n')
+			_, err = w.Write(data)
+		}
+		if err != nil {
+			j.err = err
+			return err
+		}
+	}
+	return nil
 }
 
 // Err returns the first write error encountered by Append (nil if none).

@@ -15,6 +15,9 @@ import (
 // memoizable under the uniform contract.
 type Registry struct {
 	byName map[string]Experiment
+	// name is the assembly name recorded in runpack provenance (see
+	// SetName / Name in seal.go).
+	name string
 }
 
 // NewRegistry returns an empty registry.

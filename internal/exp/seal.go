@@ -1,0 +1,137 @@
+package exp
+
+// Seal-on-run: the bridge from the experiment engine to internal/runpack.
+// Every Result the registry produces can be sealed into a verifiable,
+// replayable runpack — the manifest carries the Spec identity, the derived
+// seed, the artifact digests, the metrics, and the provenance of this
+// registry/engine, and the signature makes the whole receipt
+// tamper-evident. DESIGN.md §8 documents the schema and semantics.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/cas"
+	"repro/internal/jcs"
+	"repro/internal/runpack"
+)
+
+// EngineVersion is recorded in every runpack's provenance; bump it when the
+// engine's execution semantics change in a result-affecting way.
+const EngineVersion = "sms-exp/1"
+
+// SetName names the registry assembly for runpack provenance (default
+// "exp"). internal/experiments sets its canonical name at assembly time.
+func (r *Registry) SetName(name string) { r.name = name }
+
+// Name returns the registry's provenance name.
+func (r *Registry) Name() string {
+	if r.name == "" {
+		return "exp"
+	}
+	return r.name
+}
+
+// storeKind classifies the Env cache backing for provenance.
+func storeKind(s cas.Store) string {
+	switch s.(type) {
+	case nil:
+		return "none"
+	case *cas.MemStore:
+		return "mem"
+	case *cas.DiskStore:
+		return "disk"
+	default:
+		return "other"
+	}
+}
+
+// Seal packs a Result produced by this registry into a signed runpack. The
+// manifest's material fields (fingerprint, seeds, artifact digests,
+// metrics) are a pure function of the run; the provenance fields (registry,
+// engine, store kind, cache state) may legitimately differ between a cold
+// and a warm run of the same Spec — runpack.Diff keeps the two classes
+// apart, and the regress gate fails only on material drift.
+func (r *Registry) Seal(res *Result, env *Env, key runpack.Key) (*runpack.Pack, error) {
+	name := res.Provenance.Experiment
+	e, ok := r.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("exp: sealing result of unregistered experiment %q", name)
+	}
+	m := runpack.Manifest{
+		Experiment:  name,
+		Fingerprint: res.Provenance.Fingerprint,
+		Params:      e.Spec.Params,
+		RootSeed:    env.Seed,
+		Seed:        res.Provenance.Seed,
+		Metrics:     res.Metrics,
+		Provenance: runpack.Provenance{
+			Registry:    r.Name(),
+			Experiments: r.Len(),
+			Engine:      EngineVersion,
+			Store:       storeKind(env.Store),
+			Cached:      res.Provenance.Cached,
+		},
+	}
+	return runpack.Build(m, res.Artifacts, key)
+}
+
+// RunPacked executes the named experiment and seals its Result in one step
+// — the seal-on-run path the CLIs' -runpack flag and the golden regress
+// gate use.
+func (r *Registry) RunPacked(ctx context.Context, env *Env, name string, key runpack.Key) (*Result, *runpack.Pack, error) {
+	res, err := r.Run(ctx, env, name)
+	if err != nil {
+		return nil, nil, err
+	}
+	pack, err := r.Seal(res, env, key)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, pack, nil
+}
+
+// Validate sweeps every registered experiment's declarative identity
+// without executing any body: the spec must fingerprint, its params must
+// canonicalize under jcs, and the params must survive a JSON round-trip
+// with the fingerprint intact — the property that makes a runpack manifest
+// replayable (a param that decodes to different bytes than it encoded, such
+// as an integer beyond float64's exact range, would silently re-execute a
+// different Spec). Registration already rejects unfingerprintable specs;
+// Validate is the deeper sweep the runpack path depends on.
+func (r *Registry) Validate() error {
+	for _, e := range r.Experiments() {
+		fp, err := e.Spec.Fingerprint()
+		if err != nil {
+			return err
+		}
+		params, err := json.Marshal(e.Spec.Params)
+		if err != nil {
+			return fmt.Errorf("exp: validate %q: params: %w", e.Spec.Name, err)
+		}
+		canon, err := jcs.Canonicalize(params)
+		if err != nil {
+			return fmt.Errorf("exp: validate %q: params do not canonicalize: %w", e.Spec.Name, err)
+		}
+		if !jcs.IsCanonical(canon) {
+			return fmt.Errorf("exp: validate %q: jcs canonical form unstable", e.Spec.Name)
+		}
+		// Round-trip: decode the encoded params and re-fingerprint. Drift
+		// here means the spec a manifest carries would not re-execute as
+		// the spec that ran.
+		var back map[string]any
+		if err := json.Unmarshal(params, &back); err != nil {
+			return fmt.Errorf("exp: validate %q: params do not round-trip: %w", e.Spec.Name, err)
+		}
+		fp2, err := (Spec{Name: e.Spec.Name, Params: back}).Fingerprint()
+		if err != nil {
+			return fmt.Errorf("exp: validate %q: round-tripped params: %w", e.Spec.Name, err)
+		}
+		if fp2 != fp {
+			return fmt.Errorf("exp: validate %q: params change identity across a JSON round-trip (fingerprint %s → %s)",
+				e.Spec.Name, fp[:12], fp2[:12])
+		}
+	}
+	return nil
+}

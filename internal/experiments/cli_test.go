@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cas"
+	"repro/internal/runpack"
+)
+
+// Satellite: every registered experiment fingerprints, canonicalizes, and
+// round-trips through jcs — the declarative half of the runpack contract.
+func TestValidateFullRegistry(t *testing.T) {
+	if err := registry(t).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Acceptance: runpack verify accepts every pack RunPacked produces, across
+// the whole registry. Each pack carries the assembly provenance and a
+// distinct ID.
+func TestRunPackedAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	reg := registry(t)
+	key := runpack.DevKey()
+	env := simEnv(11)
+	seen := map[string]string{}
+	for _, name := range reg.Names() {
+		res, pack, err := reg.RunPacked(context.Background(), env, name, key)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := pack.Verify(runpack.VerifyOpts{Key: &key}); err != nil {
+			t.Errorf("%s: sealed pack fails verify: %v", name, err)
+		}
+		if pack.Manifest.Provenance.Registry != "sms/experiments" {
+			t.Errorf("%s: provenance registry = %q", name, pack.Manifest.Provenance.Registry)
+		}
+		if pack.Manifest.Seed != res.Provenance.Seed {
+			t.Errorf("%s: manifest seed %d != provenance seed %d", name, pack.Manifest.Seed, res.Provenance.Seed)
+		}
+		if prev, dup := seen[pack.ID]; dup {
+			t.Errorf("pack ID collision: %s and %s", prev, name)
+		}
+		seen[pack.ID] = name
+	}
+	if len(seen) != reg.Len() {
+		t.Fatalf("sealed %d packs, want %d", len(seen), reg.Len())
+	}
+}
+
+// The CLI -runpack path: a run exports a signed pack directory plus a
+// journal line, and the directory re-verifies offline with the dev key.
+func TestCLIRunpackExport(t *testing.T) {
+	reg := registry(t)
+	dir := t.TempDir()
+	var out strings.Builder
+	o := CLIOptions{Run: "continuum/io", Seed: 4, Runpack: dir}
+	if err := RunCLI(reg, o, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "runpack continuum/io") {
+		t.Fatalf("export line missing from output:\n%s", out.String())
+	}
+
+	pack, err := runpack.ReadDir(filepath.Join(dir, PackDirName("continuum/io")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := runpack.DevKey()
+	if err := pack.Verify(runpack.VerifyOpts{Key: &key}); err != nil {
+		t.Fatalf("exported pack fails verify: %v", err)
+	}
+
+	jf, err := os.Open(filepath.Join(dir, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	entries, err := cas.ReadJournal(jf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Step != "continuum/io" || string(entries[0].Key) != pack.ID {
+		t.Fatalf("journal does not record the export: %+v", entries)
+	}
+
+	// A second export of the same run appends — the journal is the full
+	// export history, and the pack bytes are unchanged (same ID).
+	if err := RunCLI(reg, o, &out); err != nil {
+		t.Fatal(err)
+	}
+	jf2, err := os.Open(filepath.Join(dir, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf2.Close()
+	entries, err = cas.ReadJournal(jf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[1].Key != entries[0].Key {
+		t.Fatalf("re-export did not append an identical journal entry: %+v", entries)
+	}
+}
+
+// PackDirName keeps registry namespaces out of the filesystem.
+func TestPackDirName(t *testing.T) {
+	if got := PackDirName("sweep/slack"); got != "sweep__slack" {
+		t.Fatalf("PackDirName = %q", got)
+	}
+	if got := PackDirName("report.full"); got != "report.full" {
+		t.Fatalf("PackDirName = %q", got)
+	}
+}

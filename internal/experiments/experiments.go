@@ -45,6 +45,7 @@ func demoPipeline() *workflow.Workflow {
 // errors surfaced immediately.
 func New(study *core.Study) (*exp.Registry, error) {
 	reg := exp.NewRegistry()
+	reg.SetName("sms/experiments")
 	for _, e := range scenarios.Experiments() {
 		if err := reg.Register(e); err != nil {
 			return nil, err

@@ -1,0 +1,72 @@
+package runpack
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// benchPackInput mirrors a realistic sealed run: eight artifacts totalling
+// ~80 KB (the full-report scale) plus a metric map.
+func benchPackInput() (Manifest, map[string]string) {
+	m := Manifest{
+		Experiment:  "report.full",
+		Fingerprint: strings.Repeat("cd", 32),
+		Params:      map[string]any{"sections": 8, "format": "text"},
+		RootSeed:    1,
+		Seed:        987654321,
+		Metrics:     map[string]float64{},
+		Provenance:  Provenance{Registry: "sms", Experiments: 35, Engine: "sms-exp/1", Store: "none"},
+	}
+	arts := map[string]string{}
+	for i := 0; i < 8; i++ {
+		arts[fmt.Sprintf("section-%d", i)] = strings.Repeat(fmt.Sprintf("artifact %d line\n", i), 640)
+		m.Metrics[fmt.Sprintf("metric-%d", i)] = float64(i) * 1.25
+	}
+	return m, arts
+}
+
+func BenchmarkRunpackPack(b *testing.B) {
+	m, arts := benchPackInput()
+	key := DevKey()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(m, arts, key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunpackVerify(b *testing.B) {
+	m, arts := benchPackInput()
+	key := DevKey()
+	p, err := Build(m, arts, key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Verify(VerifyOpts{Key: &key}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunpackVerifyEd25519(b *testing.B) {
+	m, arts := benchPackInput()
+	key := NewEd25519Key([]byte("bench"))
+	p, err := Build(m, arts, key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub := key.Public()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Verify(VerifyOpts{PubKey: pub}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

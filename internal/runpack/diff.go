@@ -1,0 +1,154 @@
+package runpack
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DiffReport is a field-level comparison of two packs in the provenance-
+// differencing sense of Missier et al.: it names which manifest field,
+// which artifact (and the first differing byte offset), and which metric
+// drifted — and it separates material drift (the result itself changed)
+// from provenance-only drift (same bytes, different environment facts).
+type DiffReport struct {
+	// Lines are the human-readable drift records, deterministically ordered.
+	Lines []string
+	// Material reports drift in the sealed result: fingerprint, seeds,
+	// params, artifacts, or metrics. This is what a regress gate fails on.
+	Material bool
+	// Provenance reports drift confined to provenance fields (registry,
+	// engine, store, cached) — legitimate across cache states and upgrades.
+	Provenance bool
+}
+
+// Equal reports no drift at all.
+func (d *DiffReport) Equal() bool { return !d.Material && !d.Provenance }
+
+// Text renders the report ("packs are identical" when empty).
+func (d *DiffReport) Text() string {
+	if d.Equal() {
+		return "packs are identical\n"
+	}
+	return strings.Join(d.Lines, "\n") + "\n"
+}
+
+func (d *DiffReport) material(format string, args ...any) {
+	d.Lines = append(d.Lines, fmt.Sprintf(format, args...))
+	d.Material = true
+}
+
+func (d *DiffReport) provenance(format string, args ...any) {
+	d.Lines = append(d.Lines, fmt.Sprintf(format, args...))
+	d.Provenance = true
+}
+
+// Diff compares pack a (the reference) against pack b (the candidate).
+func Diff(a, b *Pack) *DiffReport {
+	d := &DiffReport{}
+	ma, mb := a.Manifest, b.Manifest
+	if ma.Experiment != mb.Experiment {
+		d.material("experiment: %q != %q", ma.Experiment, mb.Experiment)
+	}
+	if ma.Fingerprint != mb.Fingerprint {
+		d.material("fingerprint: %s != %s (the Spec itself changed)", short(ma.Fingerprint), short(mb.Fingerprint))
+	}
+	if ma.RootSeed != mb.RootSeed {
+		d.material("root_seed: %d != %d", ma.RootSeed, mb.RootSeed)
+	}
+	if ma.Seed != mb.Seed {
+		d.material("seed: %d != %d", ma.Seed, mb.Seed)
+	}
+	diffArtifacts(d, a, b)
+	diffMetrics(d, ma.Metrics, mb.Metrics)
+	pa, pb := ma.Provenance, mb.Provenance
+	if pa.Registry != pb.Registry {
+		d.provenance("provenance.registry: %q != %q", pa.Registry, pb.Registry)
+	}
+	if pa.Experiments != pb.Experiments {
+		d.provenance("provenance.experiments: %d != %d", pa.Experiments, pb.Experiments)
+	}
+	if pa.Engine != pb.Engine {
+		d.provenance("provenance.engine: %q != %q", pa.Engine, pb.Engine)
+	}
+	if pa.Store != pb.Store {
+		d.provenance("provenance.store: %q != %q", pa.Store, pb.Store)
+	}
+	if pa.Cached != pb.Cached {
+		d.provenance("provenance.cached: %v != %v", pa.Cached, pb.Cached)
+	}
+	return d
+}
+
+func diffArtifacts(d *DiffReport, a, b *Pack) {
+	refs := func(m Manifest) map[string]ArtifactRef {
+		out := make(map[string]ArtifactRef, len(m.Artifacts))
+		for _, r := range m.Artifacts {
+			out[r.Name] = r
+		}
+		return out
+	}
+	ra, rb := refs(a.Manifest), refs(b.Manifest)
+	names := map[string]bool{}
+	for n := range ra {
+		names[n] = true
+	}
+	for n := range rb {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		fa, inA := ra[n]
+		fb, inB := rb[n]
+		switch {
+		case !inB:
+			d.material("artifact %q: only in reference", n)
+		case !inA:
+			d.material("artifact %q: only in candidate", n)
+		case fa.SHA256 != fb.SHA256:
+			line := fmt.Sprintf("artifact %q: sha256 %s != %s (%d vs %d bytes)",
+				n, short(fa.SHA256), short(fb.SHA256), fa.Bytes, fb.Bytes)
+			ba, okA := a.Blobs[n]
+			bb, okB := b.Blobs[n]
+			if okA && okB {
+				if off := firstDiffOffset(ba, bb); off >= 0 {
+					line += fmt.Sprintf(", first differing byte at offset %d", off)
+				}
+			}
+			d.material(line)
+		case fa.Bytes != fb.Bytes:
+			d.material("artifact %q: size %d != %d with equal digest (malformed manifest)", n, fa.Bytes, fb.Bytes)
+		}
+	}
+}
+
+func diffMetrics(d *DiffReport, a, b map[string]float64) {
+	names := map[string]bool{}
+	for n := range a {
+		names[n] = true
+	}
+	for n := range b {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		va, inA := a[n]
+		vb, inB := b[n]
+		switch {
+		case !inB:
+			d.material("metric %q: only in reference (%g)", n, va)
+		case !inA:
+			d.material("metric %q: only in candidate (%g)", n, vb)
+		case va != vb:
+			d.material("metric %q: %g != %g (drift %+g)", n, va, vb, vb-va)
+		}
+	}
+}

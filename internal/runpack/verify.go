@@ -1,0 +1,116 @@
+package runpack
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cas"
+	"repro/internal/jcs"
+)
+
+// The distinct verification failures, ordered as Verify checks them. Each
+// tamper class maps to exactly one sentinel so callers (and tests) can tell
+// a reordered manifest from a flipped artifact byte.
+var (
+	// ErrFormat: the manifest does not declare a supported format.
+	ErrFormat = errors.New("runpack: unsupported manifest format")
+	// ErrNotCanonical: the manifest bytes are not in jcs canonical form
+	// (reordered keys, stray whitespace, non-canonical numbers).
+	ErrNotCanonical = errors.New("runpack: manifest is not canonical JSON")
+	// ErrManifestDigest: the manifest bytes do not hash to the claimed ID.
+	ErrManifestDigest = errors.New("runpack: manifest digest mismatch")
+	// ErrSignature: the signature does not verify over the manifest bytes.
+	ErrSignature = errors.New("runpack: signature verification failed")
+	// ErrArtifactMissing: the manifest lists an artifact with no blob.
+	ErrArtifactMissing = errors.New("runpack: artifact blob missing")
+	// ErrArtifactSize: a blob's length differs from the manifest (the
+	// truncated-blob signature — checked before the digest so truncation
+	// reports as what it is).
+	ErrArtifactSize = errors.New("runpack: artifact size mismatch")
+	// ErrArtifactDigest: a blob's bytes do not hash to the manifest digest.
+	ErrArtifactDigest = errors.New("runpack: artifact digest mismatch")
+	// ErrArtifactUnknown: the pack carries a blob the manifest never sealed.
+	ErrArtifactUnknown = errors.New("runpack: artifact not in manifest")
+)
+
+// VerifyOpts selects how the signature is checked. Exactly one of Key /
+// PubKey should be set; with neither, signature verification is skipped
+// (integrity only — digests still verify) and SkipSignature must be set
+// explicitly to acknowledge it.
+type VerifyOpts struct {
+	// Key verifies with the full signing key (HMAC secret or ed25519
+	// private key).
+	Key *Key
+	// PubKey verifies an ed25519 signature with only the hex public key —
+	// the offline client path.
+	PubKey string
+	// SkipSignature acknowledges signature-less verification.
+	SkipSignature bool
+}
+
+// Verify checks the pack end to end: manifest format, canonical form,
+// manifest digest vs ID, signature, and every artifact blob's size and
+// digest, plus the absence of unsealed blobs. The first failure is
+// returned, wrapped around its sentinel.
+func (p *Pack) Verify(opts VerifyOpts) error {
+	if p.Manifest.Format != Format {
+		return fmt.Errorf("%w: %q", ErrFormat, p.Manifest.Format)
+	}
+	if !jcs.IsCanonical(p.Raw) {
+		return fmt.Errorf("%w (re-encode with jcs.Canonicalize to inspect)", ErrNotCanonical)
+	}
+	if got := string(cas.KeyOf(p.Raw)); got != p.ID {
+		return fmt.Errorf("%w: manifest hashes to %s, pack claims %s", ErrManifestDigest, got[:12], short(p.ID))
+	}
+	switch {
+	case opts.Key != nil:
+		if err := p.Sig.VerifyWith(*opts.Key, p.Raw); err != nil {
+			return err
+		}
+	case opts.PubKey != "":
+		if err := p.Sig.VerifyPublic(opts.PubKey, p.Raw); err != nil {
+			return err
+		}
+	case !opts.SkipSignature:
+		return fmt.Errorf("%w: no key provided (set VerifyOpts.SkipSignature for integrity-only checks)", ErrSignature)
+	}
+	sealed := make(map[string]bool, len(p.Manifest.Artifacts))
+	for _, ref := range p.Manifest.Artifacts {
+		sealed[ref.Name] = true
+		body, ok := p.Blobs[ref.Name]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrArtifactMissing, ref.Name)
+		}
+		if int64(len(body)) != ref.Bytes {
+			return fmt.Errorf("%w: %q is %d bytes, manifest sealed %d", ErrArtifactSize, ref.Name, len(body), ref.Bytes)
+		}
+		if got := string(cas.KeyOf(body)); got != ref.SHA256 {
+			return fmt.Errorf("%w: %q hashes to %s, manifest sealed %s", ErrArtifactDigest, ref.Name, got[:12], short(ref.SHA256))
+		}
+	}
+	for name := range p.Blobs {
+		if !sealed[name] {
+			return fmt.Errorf("%w: %q", ErrArtifactUnknown, name)
+		}
+	}
+	return nil
+}
+
+// firstDiffOffset returns the first byte offset at which a and b differ
+// (-1 when equal). Used by Diff to report the Missier-style byte-level
+// location of artifact drift.
+func firstDiffOffset(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	if len(a) != len(b) {
+		return n
+	}
+	return -1
+}

@@ -11,7 +11,7 @@ import (
 
 // endpoints are the instrumented endpoint labels, in route order. Each gets
 // a serve.req.<ep> counter and a serve.latency.<ep> series.
-var endpoints = []string{"submit", "list", "status", "artifact", "metrics"}
+var endpoints = []string{"submit", "list", "status", "artifact", "runpack", "metrics"}
 
 // routes wires the Go 1.22 method+wildcard patterns onto the instrumented
 // handlers.
@@ -21,6 +21,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /experiments", s.instrument("list", s.handleList))
 	mux.HandleFunc("GET /experiments/{id}", s.instrument("status", s.handleStatus))
 	mux.HandleFunc("GET /experiments/{id}/artifacts/{name}", s.instrument("artifact", s.handleArtifact))
+	mux.HandleFunc("GET /experiments/{id}/runpack", s.instrument("runpack", s.handleRunpack))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	return mux
 }
@@ -231,7 +232,58 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.Inc("serve.artifact.bytes", int64(len(data)))
+	// The link target is the blob's content address, so the digest header
+	// costs no hashing — and lets a client integrity-check the body offline.
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Content-Digest", "sha256:"+string(target))
+	w.Write(data)
+}
+
+// handleRunpack serves the job's sealed runpack bundle: the canonical
+// manifest, its ed25519 signature, and every artifact blob in one JSON
+// document a client can verify fully offline against PackPublicKey (see
+// cmd/runpack verify -pubkey). Same state machine as artifacts: 409 before
+// completion, 410 when the bundle was evicted from the store.
+func (s *Server) handleRunpack(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.lookupJob(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no submission %q", id)
+		return
+	}
+	switch s.jobState(j) {
+	case StateDone:
+	case StateFailed:
+		writeError(w, http.StatusConflict, "submission %s failed; no runpack", id)
+		return
+	default:
+		writeError(w, http.StatusConflict, "submission %s not complete yet", id)
+		return
+	}
+	target, ok, err := s.store.Resolve(runpackLink(id))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "resolving runpack: %v", err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, "submission %s has no runpack", id)
+		return
+	}
+	data, found, err := s.store.Get(target)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reading runpack: %v", err)
+		return
+	}
+	if !found {
+		writeError(w, http.StatusGone, "runpack bundle evicted from store")
+		return
+	}
+	s.met.Inc("serve.runpack.bytes", int64(len(data)))
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Content-Digest", "sha256:"+string(target))
+	if pub := s.packKey.Public(); pub != "" {
+		w.Header().Set("X-Runpack-Pubkey", pub)
+	}
 	w.Write(data)
 }
 

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/cas"
+	"repro/internal/exp"
+	"repro/internal/runpack"
+)
+
+// Satellite: artifact responses carry an explicit Content-Type and a
+// sha256 digest header that matches the body bytes.
+func TestArtifactResponseHeaders(t *testing.T) {
+	srv := newTestServer(t, Config{Registry: synthRegistry(t, nil, "synth/a"), Seed: 3})
+	st := decodeStatus(t, do(srv, http.MethodPost, "/experiments", `{"name":"synth/a"}`))
+	srv.Wait()
+
+	w := do(srv, http.MethodGet, "/experiments/"+st.ID+"/artifacts/table.csv", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("artifact fetch = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "text/plain; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	want := "sha256:" + string(cas.KeyOf(w.Body.Bytes()))
+	if got := w.Header().Get("X-Content-Digest"); got != want {
+		t.Fatalf("X-Content-Digest = %q, want %q", got, want)
+	}
+}
+
+// Acceptance: the runpack endpoint serves a sealed bundle that verifies
+// fully offline with only the server's published ed25519 public key.
+func TestRunpackEndpointOfflineVerify(t *testing.T) {
+	srv := newTestServer(t, Config{Registry: synthRegistry(t, nil, "synth/a"), Seed: 7})
+	pub := srv.PackPublicKey()
+	if pub == "" {
+		t.Fatal("default pack key has no public key")
+	}
+	st := decodeStatus(t, do(srv, http.MethodPost, "/experiments", `{"name":"synth/a"}`))
+	srv.Wait()
+
+	w := do(srv, http.MethodGet, "/experiments/"+st.ID+"/runpack", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("runpack fetch = %d: %s", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if got := w.Header().Get("X-Runpack-Pubkey"); got != pub {
+		t.Fatalf("X-Runpack-Pubkey = %q, want %q", got, pub)
+	}
+	if want := "sha256:" + string(cas.KeyOf(w.Body.Bytes())); w.Header().Get("X-Content-Digest") != want {
+		t.Fatalf("X-Content-Digest = %q, want %q", w.Header().Get("X-Content-Digest"), want)
+	}
+
+	// Offline: decode and verify with nothing but the published key.
+	pack, err := runpack.DecodeBundle(w.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pack.Verify(runpack.VerifyOpts{PubKey: pub}); err != nil {
+		t.Fatalf("served bundle fails offline verify: %v", err)
+	}
+	if pack.Manifest.Experiment != "synth/a" || pack.Manifest.RootSeed != 7 {
+		t.Fatalf("bundle identity wrong: %+v", pack.Manifest)
+	}
+	// The sealed blob equals the artifact the artifact endpoint serves.
+	aw := do(srv, http.MethodGet, "/experiments/"+st.ID+"/artifacts/table.csv", "")
+	if string(pack.Blobs["table.csv"]) != aw.Body.String() {
+		t.Fatal("bundle blob differs from served artifact")
+	}
+
+	// A flipped artifact byte fails verification against the same key.
+	pack.Blobs["table.csv"][0] ^= 0x01
+	if err := pack.Verify(runpack.VerifyOpts{PubKey: pub}); err == nil {
+		t.Fatal("tampered bundle verified")
+	}
+
+	// A wrong trusted key is rejected even on an untampered bundle.
+	fresh, err := runpack.DecodeBundle(w.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := runpack.NewEd25519Key([]byte("someone else")).Public()
+	if err := fresh.Verify(runpack.VerifyOpts{PubKey: other}); err == nil {
+		t.Fatal("bundle verified against the wrong public key")
+	}
+
+	// Re-fetch is byte-identical: the bundle is sealed once at completion.
+	if again := do(srv, http.MethodGet, "/experiments/"+st.ID+"/runpack", ""); again.Body.String() != w.Body.String() {
+		t.Fatal("runpack fetch not stable")
+	}
+}
+
+// The runpack endpoint follows the artifact state machine: 404 unknown id,
+// 409 before completion and on failed jobs.
+func TestRunpackStateMachine(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	reg := exp.NewRegistry()
+	if err := reg.Register(blockingExperiment("block", started, release)); err != nil {
+		t.Fatal(err)
+	}
+	srv := newTestServer(t, Config{Registry: reg, Workers: 1})
+
+	if w := do(srv, http.MethodGet, "/experiments/deadbeefdeadbeef/runpack", ""); w.Code != http.StatusNotFound {
+		t.Fatalf("runpack on unknown id = %d", w.Code)
+	}
+	st := decodeStatus(t, do(srv, http.MethodPost, "/experiments", `{"name":"block"}`))
+	<-started
+	if w := do(srv, http.MethodGet, "/experiments/"+st.ID+"/runpack", ""); w.Code != http.StatusConflict {
+		t.Fatalf("runpack before completion = %d, want 409", w.Code)
+	}
+	close(release)
+	srv.Wait()
+	if w := do(srv, http.MethodGet, "/experiments/"+st.ID+"/runpack", ""); w.Code != http.StatusOK {
+		t.Fatalf("runpack after completion = %d", w.Code)
+	}
+}
+
+// A configured HMAC pack key seals bundles verifiable with the shared
+// secret; no public key travels (header absent, PackPublicKey empty).
+func TestRunpackCustomHMACKey(t *testing.T) {
+	key := runpack.NewHMACKey([]byte("ci secret"))
+	srv := newTestServer(t, Config{Registry: synthRegistry(t, nil, "synth/a"), PackKey: key})
+	if srv.PackPublicKey() != "" {
+		t.Fatal("HMAC key reports a public key")
+	}
+	st := decodeStatus(t, do(srv, http.MethodPost, "/experiments", `{"name":"synth/a"}`))
+	srv.Wait()
+	w := do(srv, http.MethodGet, "/experiments/"+st.ID+"/runpack", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("runpack fetch = %d", w.Code)
+	}
+	if h := w.Header().Get("X-Runpack-Pubkey"); h != "" {
+		t.Fatalf("HMAC bundle carries pubkey header %q", h)
+	}
+	pack, err := runpack.DecodeBundle(w.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pack.Verify(runpack.VerifyOpts{Key: &key}); err != nil {
+		t.Fatalf("HMAC bundle fails verify: %v", err)
+	}
+	wrong := runpack.NewHMACKey([]byte("not the secret"))
+	if err := pack.Verify(runpack.VerifyOpts{Key: &wrong}); err == nil {
+		t.Fatal("HMAC bundle verified under the wrong secret")
+	}
+}
+
+// Identical submissions on servers with the same seed serve byte-identical
+// bundles — the determinism contract extends through the runpack endpoint.
+func TestRunpackDeterministicAcrossServers(t *testing.T) {
+	fetch := func() string {
+		srv := newTestServer(t, Config{Registry: synthRegistry(t, nil, "synth/a"), Seed: 11})
+		st := decodeStatus(t, do(srv, http.MethodPost, "/experiments", `{"name":"synth/a"}`))
+		srv.Wait()
+		w := do(srv, http.MethodGet, "/experiments/"+st.ID+"/runpack", "")
+		if w.Code != http.StatusOK {
+			t.Fatalf("runpack fetch = %d", w.Code)
+		}
+		return w.Body.String()
+	}
+	a, b := fetch(), fetch()
+	if a != b {
+		t.Fatal("bundles differ across identical servers")
+	}
+	if !strings.Contains(a, runpack.BundleFormat) {
+		t.Fatalf("bundle missing format marker: %s", a[:80])
+	}
+}

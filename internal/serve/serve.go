@@ -37,6 +37,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/exp"
 	"repro/internal/par"
+	"repro/internal/runpack"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
@@ -72,6 +73,12 @@ type Config struct {
 	QueueDepth int
 	// Par configures the worker pool inside experiment bodies.
 	Par []par.Option
+	// PackKey signs the runpack sealed for every completed job (served by
+	// GET /experiments/{id}/runpack). The zero value derives a deterministic
+	// ed25519 key from Seed — fine for simulation and tests, where the point
+	// is offline verifiability, not secrecy; deployments that need
+	// authenticity supply their own key material.
+	PackKey runpack.Key
 	// Cost, when non-nil, switches the daemon into load-test mode: every
 	// request passes the deterministic admission model (which may answer
 	// 429) and contributes its modeled latency to LatencySummary.
@@ -118,11 +125,12 @@ type job struct {
 // Server is the smsd daemon core: an http.Handler over the experiment
 // registry with a bounded admission queue and a fixed worker pool.
 type Server struct {
-	cfg   Config
-	clk   clock.Clock
-	met   *telemetry.Registry
-	store cas.Store
-	mux   *http.ServeMux
+	cfg     Config
+	clk     clock.Clock
+	met     *telemetry.Registry
+	store   cas.Store
+	packKey runpack.Key
+	mux     *http.ServeMux
 
 	mu      sync.Mutex
 	jobs    map[string]*job
@@ -155,13 +163,18 @@ func NewServer(cfg Config) (*Server, error) {
 	if store == nil {
 		store = cas.NewMemStore()
 	}
+	packKey := cfg.PackKey
+	if packKey.Zero() {
+		packKey = runpack.NewEd25519Key([]byte(fmt.Sprintf("smsd/pack-key/v1|%d", cfg.Seed)))
+	}
 	s := &Server{
-		cfg:   cfg,
-		clk:   clk,
-		met:   met,
-		store: store,
-		jobs:  map[string]*job{},
-		queue: make(chan *job, cfg.QueueDepth),
+		cfg:     cfg,
+		clk:     clk,
+		met:     met,
+		store:   store,
+		packKey: packKey,
+		jobs:    map[string]*job{},
+		queue:   make(chan *job, cfg.QueueDepth),
 	}
 	s.mux = s.routes()
 	// Declare the latency series up front so an idle daemon still exposes
@@ -187,6 +200,11 @@ func (s *Server) Store() cas.Store { return s.store }
 
 // Seed returns the default root seed applied to submissions that omit one.
 func (s *Server) Seed() int64 { return s.cfg.Seed }
+
+// PackPublicKey returns the hex ed25519 public key runpack bundles are
+// signed under ("" when the configured key is HMAC). A client holding only
+// this string can verify a served bundle fully offline.
+func (s *Server) PackPublicKey() string { return s.packKey.Public() }
 
 // Wait blocks until every enqueued job has reached a terminal state. With a
 // simulated clock this is the drain barrier the load generator uses between
@@ -219,6 +237,12 @@ func JobID(name string, seed int64) string {
 // artifactLink is the link-table key an artifact is published under.
 func artifactLink(jobID, artifact string) cas.Key {
 	return cas.KeyOf([]byte(fmt.Sprintf("serve/artifact|%s|%d:%s", jobID, len(artifact), artifact)))
+}
+
+// runpackLink is the link-table key a job's sealed runpack bundle is
+// published under.
+func runpackLink(jobID string) cas.Key {
+	return cas.KeyOf([]byte(fmt.Sprintf("serve/runpack|%s", jobID)))
 }
 
 // submit runs the admission path: dedup on JobID, then a non-blocking
@@ -294,6 +318,9 @@ func (s *Server) runJob(j *job) {
 	if err == nil {
 		err = s.publishArtifacts(j.id, res)
 	}
+	if err == nil {
+		err = s.publishRunpack(j.id, res, env)
+	}
 	if err != nil {
 		st.State = StateFailed
 		st.Error = err.Error()
@@ -341,6 +368,29 @@ func (s *Server) publishArtifacts(jobID string, res *exp.Result) error {
 		if err := s.store.Link(artifactLink(jobID, name), key); err != nil {
 			return fmt.Errorf("serve: linking artifact %q: %w", name, err)
 		}
+	}
+	return nil
+}
+
+// publishRunpack seals the completed job into a signed runpack bundle and
+// publishes it content-addressed under the job's runpack link. Sealing is a
+// pure function of the Result, so GET .../runpack is — like artifacts — a
+// hash lookup that never re-executes a body.
+func (s *Server) publishRunpack(jobID string, res *exp.Result, env *exp.Env) error {
+	pack, err := s.cfg.Registry.Seal(res, env, s.packKey)
+	if err != nil {
+		return fmt.Errorf("serve: sealing runpack: %w", err)
+	}
+	data, err := pack.EncodeBundle()
+	if err != nil {
+		return fmt.Errorf("serve: encoding runpack bundle: %w", err)
+	}
+	key, err := s.store.Put(data)
+	if err != nil {
+		return fmt.Errorf("serve: storing runpack bundle: %w", err)
+	}
+	if err := s.store.Link(runpackLink(jobID), key); err != nil {
+		return fmt.Errorf("serve: linking runpack bundle: %w", err)
 	}
 	return nil
 }
