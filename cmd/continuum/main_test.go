@@ -100,7 +100,7 @@ func TestRegistryFlags(t *testing.T) {
 	if err := run([]string{"-list"}, &list); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"continuum/faas", "continuum/energy", "scenario/3.4/liqo", "35 experiments"} {
+	for _, want := range []string{"continuum/faas", "continuum/energy", "scenario/3.4/liqo", "37 experiments"} {
 		if !strings.Contains(list.String(), want) {
 			t.Errorf("-list missing %q", want)
 		}

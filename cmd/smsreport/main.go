@@ -13,6 +13,7 @@
 //	smsreport -cache .smscache        # memoize the full report (warm = no re-render)
 //	smsreport -cpuprofile cpu.pprof   # profile the render (go tool pprof cpu.pprof)
 //	smsreport -memprofile mem.pprof   # allocation profile after the render
+//	smsreport -run corpus/classify    # sharded classification of the synthetic corpus
 package main
 
 import (

@@ -223,7 +223,7 @@ func TestRegistryFlags(t *testing.T) {
 	}
 
 	list := runCapture(t, "-list")
-	for _, want := range []string{"report.full", "scenario/3.1/fastflow", "sweep/faults", "continuum/io", "35 experiments"} {
+	for _, want := range []string{"report.full", "scenario/3.1/fastflow", "sweep/faults", "continuum/io", "37 experiments"} {
 		if !strings.Contains(list, want) {
 			t.Errorf("-list missing %q", want)
 		}
@@ -231,11 +231,11 @@ func TestRegistryFlags(t *testing.T) {
 
 	dir := t.TempDir()
 	cold := runCapture(t, "-run", "all", "-cache", filepath.Join(dir, "c"))
-	if !strings.Contains(cold, "35 experiments ok (hits=0 misses=35)") {
+	if !strings.Contains(cold, "37 experiments ok (hits=0 misses=37)") {
 		t.Errorf("cold sweep accounting wrong:\n%s", cold)
 	}
 	warm := runCapture(t, "-run", "all", "-cache", filepath.Join(dir, "c"))
-	if !strings.Contains(warm, "35 experiments ok (hits=35 misses=0)") {
+	if !strings.Contains(warm, "37 experiments ok (hits=37 misses=0)") {
 		t.Errorf("warm sweep executed bodies:\n%s", warm)
 	}
 	if !strings.Contains(warm, "report.full") || !strings.Contains(warm, "cached") {

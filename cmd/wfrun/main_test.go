@@ -157,7 +157,7 @@ func TestRegistryFlags(t *testing.T) {
 	if err := run([]string{"-list"}, &list); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"sweep/faults", "sweep/resume", "sweep/slack", "35 experiments"} {
+	for _, want := range []string{"sweep/faults", "sweep/resume", "sweep/slack", "37 experiments"} {
 		if !strings.Contains(list.String(), want) {
 			t.Errorf("-list missing %q", want)
 		}

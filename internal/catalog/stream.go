@@ -1,0 +1,138 @@
+package catalog
+
+// Streamed tool JSON: the import/export seam for generated corpora.
+//
+// Catalog.WriteJSON/ReadJSON materialize the whole catalog — fine for the
+// study's 25 tools, wrong for the 10^4–10^7-entry synthetic corpora of the
+// sharded classification engine (internal/corpus). The stream form reads
+// and writes one Tool at a time in constant memory: a JSON array with one
+// compact object per line, deterministic byte-for-byte (struct field order
+// is fixed and the encoder adds nothing), so export → import → re-export
+// reproduces the input exactly.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Stream-validation errors. They are distinct sentinels: a reader must be
+// able to tell data that ended too early (retry/refetch) from data that is
+// well-formed JSON but not a valid tool (reject).
+var (
+	// ErrTruncated marks a stream that ended before the closing bracket —
+	// a partial download or an interrupted export.
+	ErrTruncated = errors.New("catalog: truncated tool stream")
+	// ErrBadDirection marks a tool whose direction (primary or secondary)
+	// is not one of the five study directions.
+	ErrBadDirection = errors.New("catalog: invalid direction")
+)
+
+// StreamTools reads a JSON array of tools from r, calling fn for each one
+// as it is decoded — the whole array is never held in memory. Every tool's
+// directions are validated on the way through: a bad direction fails with
+// ErrBadDirection, input that ends mid-stream fails with ErrTruncated, and
+// an error from fn aborts the scan unchanged.
+func StreamTools(r io.Reader, fn func(Tool) error) error {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	dec.DisallowUnknownFields()
+	tok, err := dec.Token()
+	if err != nil {
+		return streamErr(err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return fmt.Errorf("catalog: tool stream must be a JSON array, got %v", tok)
+	}
+	for i := 0; dec.More(); i++ {
+		var t Tool
+		if err := dec.Decode(&t); err != nil {
+			return streamErr(err)
+		}
+		if !t.Direction.Valid() {
+			return fmt.Errorf("%w: tool %d (%q) has direction %q", ErrBadDirection, i, t.Name, t.Direction)
+		}
+		for _, s := range t.Secondary {
+			if !s.Valid() {
+				return fmt.Errorf("%w: tool %d (%q) has secondary direction %q", ErrBadDirection, i, t.Name, s)
+			}
+		}
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	if _, err := dec.Token(); err != nil { // the closing ']'
+		return streamErr(err)
+	}
+	return nil
+}
+
+// streamErr folds the decoder's end-of-input errors into ErrTruncated and
+// passes real syntax errors through.
+func streamErr(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return fmt.Errorf("catalog: decoding tool stream: %w", err)
+}
+
+// ToolWriter emits the streamed tool format incrementally: `[`, one
+// compact JSON object per line, `]`. Writes after an error are no-ops
+// reporting the first error, so a failed export cannot silently truncate
+// into a valid-looking stream.
+type ToolWriter struct {
+	w   *bufio.Writer
+	n   int
+	err error
+	// closed guards against writes after Close.
+	closed bool
+}
+
+// NewToolWriter starts a tool stream on w.
+func NewToolWriter(w io.Writer) *ToolWriter {
+	return &ToolWriter{w: bufio.NewWriter(w)}
+}
+
+// Write appends one tool to the stream.
+func (tw *ToolWriter) Write(t Tool) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	if tw.closed {
+		tw.err = errors.New("catalog: write to closed tool stream")
+		return tw.err
+	}
+	data, err := json.Marshal(t)
+	if err != nil {
+		tw.err = err
+		return err
+	}
+	if tw.n == 0 {
+		_, tw.err = tw.w.WriteString("[\n")
+	} else {
+		_, tw.err = tw.w.WriteString(",\n")
+	}
+	if tw.err == nil {
+		_, tw.err = tw.w.Write(data)
+	}
+	tw.n++
+	return tw.err
+}
+
+// Close terminates the array and flushes. An empty stream closes to "[]".
+func (tw *ToolWriter) Close() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	tw.closed = true
+	if tw.n == 0 {
+		_, tw.err = tw.w.WriteString("[]\n")
+	} else {
+		_, tw.err = tw.w.WriteString("\n]\n")
+	}
+	if tw.err == nil {
+		tw.err = tw.w.Flush()
+	}
+	return tw.err
+}

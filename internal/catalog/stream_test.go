@@ -1,0 +1,159 @@
+package catalog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func streamOf(t *testing.T, tools []Tool) string {
+	t.Helper()
+	var b bytes.Buffer
+	tw := NewToolWriter(&b)
+	for _, tool := range tools {
+		if err := tw.Write(tool); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func collect(t *testing.T, stream string) []Tool {
+	t.Helper()
+	var out []Tool
+	if err := StreamTools(strings.NewReader(stream), func(tool Tool) error {
+		out = append(out, tool)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// Satellite: export → import → re-export must be byte-identical.
+func TestToolStreamRoundTrip(t *testing.T) {
+	tools := make([]Tool, 0, 500)
+	dirs := Directions()
+	for i := 0; i < 500; i++ {
+		tools = append(tools, Tool{
+			Name:        fmt.Sprintf("tool-%05d", i),
+			Direction:   dirs[i%len(dirs)],
+			Description: fmt.Sprintf("synthetic description %d with jupyter and energy words", i),
+			Year:        2020 + i%4,
+		})
+	}
+	first := streamOf(t, tools)
+	back := collect(t, first)
+	if len(back) != len(tools) {
+		t.Fatalf("imported %d tools, want %d", len(back), len(tools))
+	}
+	second := streamOf(t, back)
+	if first != second {
+		t.Fatal("re-exported stream differs from the original bytes")
+	}
+}
+
+// The embedded catalog's tools survive the stream too (the stream is a
+// strict subset view of the full catalog schema).
+func TestToolStreamCatalogTools(t *testing.T) {
+	tools := Default().Tools
+	back := collect(t, streamOf(t, tools))
+	if len(back) != len(tools) {
+		t.Fatalf("imported %d tools, want %d", len(back), len(tools))
+	}
+	for i := range tools {
+		if back[i].Name != tools[i].Name || back[i].Direction != tools[i].Direction {
+			t.Fatalf("tool %d drifted: %+v vs %+v", i, back[i], tools[i])
+		}
+	}
+}
+
+func TestToolStreamEmpty(t *testing.T) {
+	stream := streamOf(t, nil)
+	if stream != "[]\n" {
+		t.Fatalf("empty stream = %q", stream)
+	}
+	if got := collect(t, stream); len(got) != 0 {
+		t.Fatalf("empty stream decoded %d tools", len(got))
+	}
+}
+
+// Satellite: an invalid direction is rejected with ErrBadDirection, not a
+// generic decode error — primary and secondary alike.
+func TestToolStreamBadDirection(t *testing.T) {
+	bad := `[
+{"name":"x","direction":"Quantum vibes","institution":"","description":"d"}
+]`
+	err := StreamTools(strings.NewReader(bad), func(Tool) error { return nil })
+	if !errors.Is(err, ErrBadDirection) {
+		t.Fatalf("bad primary direction: got %v, want ErrBadDirection", err)
+	}
+	badSecondary := `[
+{"name":"x","direction":"Orchestration","institution":"","description":"d","secondary":["Nope"]}
+]`
+	err = StreamTools(strings.NewReader(badSecondary), func(Tool) error { return nil })
+	if !errors.Is(err, ErrBadDirection) {
+		t.Fatalf("bad secondary direction: got %v, want ErrBadDirection", err)
+	}
+}
+
+// Satellite: truncation at every interesting cut point is ErrTruncated —
+// distinct from the bad-direction rejection.
+func TestToolStreamTruncated(t *testing.T) {
+	full := streamOf(t, []Tool{
+		{Name: "a", Direction: Orchestration, Description: "d"},
+		{Name: "b", Direction: EnergyEfficiency, Description: "d"},
+	})
+	cuts := []int{0, 1, len(full) / 2, len(full) - 2}
+	for _, cut := range cuts {
+		err := StreamTools(strings.NewReader(full[:cut]), func(Tool) error { return nil })
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut at %d: got %v, want ErrTruncated", cut, err)
+		}
+		if errors.Is(err, ErrBadDirection) {
+			t.Fatalf("cut at %d conflates truncation with direction validation", cut)
+		}
+	}
+}
+
+// Malformed-but-complete JSON is neither truncated nor a direction error.
+func TestToolStreamMalformed(t *testing.T) {
+	for _, in := range []string{`{"not":"an array"}`, `[{"name": 42}]`, `[{"unknown_field": 1}]`} {
+		err := StreamTools(strings.NewReader(in), func(Tool) error { return nil })
+		if err == nil {
+			t.Fatalf("malformed stream %q accepted", in)
+		}
+		if errors.Is(err, ErrTruncated) || errors.Is(err, ErrBadDirection) {
+			t.Fatalf("malformed stream %q misclassified as %v", in, err)
+		}
+	}
+}
+
+// A callback error aborts the stream unchanged.
+func TestToolStreamCallbackError(t *testing.T) {
+	boom := errors.New("boom")
+	stream := streamOf(t, []Tool{{Name: "a", Direction: Orchestration, Description: "d"}})
+	if err := StreamTools(strings.NewReader(stream), func(Tool) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("callback error not surfaced: %v", err)
+	}
+}
+
+// Writes after Close or after a failure must not corrupt the stream.
+func TestToolWriterMisuse(t *testing.T) {
+	var b bytes.Buffer
+	tw := NewToolWriter(&b)
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Write(Tool{Name: "late", Direction: Orchestration}); err == nil {
+		t.Fatal("write after Close succeeded")
+	}
+	if b.String() != "[]\n" {
+		t.Fatalf("stream corrupted by late write: %q", b.String())
+	}
+}

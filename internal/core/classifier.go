@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/catalog"
 )
@@ -62,19 +63,58 @@ func normalize(s string) string {
 	return strings.Join(strings.Fields(strings.ToLower(s)), " ")
 }
 
+// scratchPool recycles ClassifyScratch values across ClassifyDescription
+// calls so the convenience API allocates only its result maps, not the
+// kernel state.
+var scratchPool = sync.Pool{New: func() any { return new(ClassifyScratch) }}
+
 // ClassifyDescription assigns a research direction to a free-text tool
 // description using the weighted keyword scheme. Ties resolve in canonical
 // direction order. A description matching no keywords is classified into
 // Orchestration, the study's broadest category, with zero scores recorded.
+//
+// This is the convenience form: it drives the compiled automaton (Compiled)
+// and materializes the maps the original API promised — byte-identical to
+// the seed strings.Contains implementation (pinned by the classifier
+// golden). Bulk paths classify through Classifier.ClassifyInto with a
+// reused ClassifyScratch instead, which allocates nothing per document.
 func ClassifyDescription(desc string) Classification {
+	c := Compiled()
+	s := scratchPool.Get().(*ClassifyScratch)
+	w := c.ClassifyInto(desc, s)
+	nonzero := 0
+	for _, sc := range s.Scores {
+		if sc != 0 {
+			nonzero++
+		}
+	}
+	scores := make(map[catalog.Direction]float64, nonzero)
+	for d, sc := range s.Scores {
+		if sc != 0 {
+			scores[catalog.Directions()[d]] = sc
+		}
+	}
+	var kws []string
+	if s.Matched() > 0 {
+		kws = c.MatchedAppend(make([]string, 0, s.Matched()), w, s)
+	}
+	scratchPool.Put(s)
+	return Classification{Direction: catalog.Directions()[w], Scores: scores, Matched: kws}
+}
+
+// classifyDescriptionRef is the pre-automaton reference: the seed
+// strings.Contains scan with the small-scale waste fixed — the matched map
+// for losing directions is gone (the winner's keywords are re-collected in
+// a second pass over one direction only) and Scores is pre-sized. It
+// remains the semantic oracle for the equivalence tests and the baseline
+// the kernel benchmark measures the automaton against.
+func classifyDescriptionRef(desc string) Classification {
 	text := normalize(desc)
 	scores := make(map[catalog.Direction]float64, 5)
-	matched := map[catalog.Direction][]string{}
 	for dir, kws := range directionKeywords {
 		for kw, w := range kws {
 			if strings.Contains(text, kw) {
 				scores[dir] += w
-				matched[dir] = append(matched[dir], kw)
 			}
 		}
 	}
@@ -86,9 +126,14 @@ func ClassifyDescription(desc string) Classification {
 			bestScore = scores[dir]
 		}
 	}
-	kws := matched[best]
-	sort.Strings(kws)
-	return Classification{Direction: best, Scores: scores, Matched: kws}
+	var matched []string
+	for kw := range directionKeywords[best] {
+		if strings.Contains(text, kw) {
+			matched = append(matched, kw)
+		}
+	}
+	sort.Strings(matched)
+	return Classification{Direction: best, Scores: scores, Matched: matched}
 }
 
 // ConfusionMatrix counts classifier outcomes against manual labels.

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata goldens from the current implementation")
+
+// goldenCases are the inputs pinned by the classifier golden: every catalog
+// tool description plus hand-picked edge cases (empty input, unicode
+// whitespace, repeated keywords, cross-direction ties, and keywords that are
+// substrings of other keywords). The golden was generated from the seed
+// strings.Contains implementation and must never drift: the automaton
+// rewrite is only valid because these bytes stayed identical.
+func goldenCases() []string {
+	var cases []string
+	for _, t := range catalog.Default().Tools {
+		cases = append(cases, t.Description)
+	}
+	cases = append(cases,
+		"",
+		"   ",
+		"nothing matches here at all",
+		"A Jupyter NOTEBOOK kernel for INTERACTIVE cells",
+		"jupyter notebook\tkernel\n  reservation",
+		"energy energy energy power power footprint",
+		"web java",                             // 1.0 vs 1.0 tie: canonical order breaks it
+		"service gpu",                          // Orchestration vs Big Data tie
+		"a low-power kernel-bypass rdma stack", // keyword-inside-keyword overlaps
+		"decision support for workflow management and big data analytics",
+		"multi-cloud multi-cluster federation with tosca and kubernetes",
+		"i/o middleware with posix semantics and llvm backend",
+	)
+	return cases
+}
+
+// renderClassification canonicalizes one Classification for the golden file.
+func renderClassification(desc string, c Classification) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "input: %q\n", desc)
+	fmt.Fprintf(&b, "direction: %s\n", c.Direction)
+	dirs := make([]string, 0, len(c.Scores))
+	for d := range c.Scores {
+		dirs = append(dirs, string(d))
+	}
+	sort.Strings(dirs)
+	for _, d := range dirs {
+		fmt.Fprintf(&b, "score: %s = %g\n", d, c.Scores[catalog.Direction(d)])
+	}
+	fmt.Fprintf(&b, "matched: %s\n\n", strings.Join(c.Matched, ", "))
+	return b.String()
+}
+
+func goldenText() string {
+	var b strings.Builder
+	for _, desc := range goldenCases() {
+		b.WriteString(renderClassification(desc, ClassifyDescription(desc)))
+	}
+	return b.String()
+}
+
+// TestClassifyGolden pins ClassifyDescription byte-for-byte against the
+// behaviour of the seed implementation on the full catalog and the edge
+// cases above. Run with -update only to regenerate after an intentional
+// keyword-scheme change.
+func TestClassifyGolden(t *testing.T) {
+	const path = "testdata/classify_golden.txt"
+	got := goldenText()
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("classification drifted from the pinned golden.\nDiff the output of -update against git to see the drift.")
+	}
+}

@@ -1,0 +1,381 @@
+package core
+
+// The compiled keyword automaton: the classification hot path rebuilt for
+// million-entry corpora (ISSUE 9, ROADMAP "Corpus at scale").
+//
+// The seed classifier ran O(directions × keywords) strings.Contains scans
+// per document and allocated two maps plus matched-keyword slices per call.
+// At 25 tools that is invisible; at 10^7 synthetic tool descriptions it is
+// the whole budget. This file compiles directionKeywords once into an
+// Aho-Corasick automaton (Aho & Corasick, CACM 1975) lowered to a dense
+// byte-level DFA: classification is then a single left-to-right pass over
+// the text — one table lookup per input byte — that discovers every keyword
+// occurrence of every direction simultaneously, with zero steady-state
+// allocations when driven through a reusable ClassifyScratch.
+//
+// Normalization is fused into the scan. The reference semantics match on
+// normalize(desc) = strings.Join(strings.Fields(strings.ToLower(desc)), " ");
+// for pure-ASCII input (every generated corpus entry and all but the
+// pathological catalog descriptions) the scanner lowercases and collapses
+// whitespace on the fly, byte for byte identical to the reference, without
+// materializing the normalized string. Non-ASCII input falls back to
+// normalizing first — correctness is pinned by the equivalence tests, which
+// drive both paths against the strings.Contains reference.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/catalog"
+)
+
+// numDirections is the fixed direction alphabet of the study.
+const numDirections = 5
+
+// pattern is one compiled keyword: its direction (canonical index), weight,
+// and original spelling (for Classification.Matched).
+type pattern struct {
+	dir    int8
+	weight float64
+	kw     string
+}
+
+// Classifier is the compiled keyword automaton. Build it once (Compiled
+// returns the process-wide instance over directionKeywords); Classify* calls
+// are safe for concurrent use because matching only reads the tables —
+// all per-call state lives in the caller's ClassifyScratch.
+type Classifier struct {
+	// next is the dense DFA: next[state*256+b] is the successor of state on
+	// input byte b, with goto and failure transitions pre-resolved so the
+	// scan never chases fail links.
+	next []int32
+	// outStart[s]..outStart[s+1] indexes outPat: the patterns recognized
+	// when the scan stands in state s (own matches plus every suffix match
+	// inherited through the failure chain).
+	outStart []int32
+	outPat   []int32
+	pats     []pattern
+}
+
+// ClassifyScratch carries the per-call state of the zero-allocation
+// classify kernel. The zero value is ready to use; reusing one scratch
+// across calls (one per shard/goroutine — it is not concurrency-safe) makes
+// steady-state classification allocation-free.
+type ClassifyScratch struct {
+	// Scores is the per-direction score of the last classified document,
+	// indexed by catalog.Direction canonical index.
+	Scores [numDirections]float64
+	// nMatched counts distinct keywords of the winning direction.
+	nMatched int
+	// seen deduplicates pattern hits: seen[p] == epoch marks pattern p as
+	// already counted for the current document (a keyword scores once no
+	// matter how often it occurs, mirroring strings.Contains).
+	seen  []uint32
+	epoch uint32
+	// fired lists the distinct pattern IDs hit by the current document.
+	fired []int32
+}
+
+// begin resets the scratch for a new document against c.
+func (s *ClassifyScratch) begin(c *Classifier) {
+	if len(s.seen) < len(c.pats) {
+		s.seen = make([]uint32, len(c.pats))
+		s.fired = make([]int32, 0, len(c.pats))
+	}
+	s.epoch++
+	if s.epoch == 0 { // uint32 wrap: stale stamps could alias the new epoch
+		clear(s.seen)
+		s.epoch = 1
+	}
+	s.fired = s.fired[:0]
+	for d := range s.Scores {
+		s.Scores[d] = 0
+	}
+}
+
+// buildClassifier compiles the weighted keyword scheme into the automaton.
+// Construction order is deterministic: directions in canonical order,
+// keywords sorted within each direction, so pattern IDs — and therefore
+// every downstream artifact — never depend on map iteration order.
+func buildClassifier(scheme map[catalog.Direction]map[string]float64) *Classifier {
+	c := &Classifier{}
+	for di, dir := range catalog.Directions() {
+		kws := make([]string, 0, len(scheme[dir]))
+		for kw := range scheme[dir] {
+			kws = append(kws, kw)
+		}
+		sort.Strings(kws)
+		for _, kw := range kws {
+			c.pats = append(c.pats, pattern{dir: int8(di), weight: scheme[dir][kw], kw: kw})
+		}
+	}
+
+	// Trie of all patterns over the byte alphabet.
+	type node struct {
+		child [256]int32 // 0 = absent (state 0 is the root, never a child)
+		fail  int32
+		own   []int32 // pattern IDs ending exactly here
+	}
+	nodes := []*node{new(node)}
+	for pid, p := range c.pats {
+		s := int32(0)
+		for i := 0; i < len(p.kw); i++ {
+			b := p.kw[i]
+			if nodes[s].child[b] == 0 {
+				nodes = append(nodes, new(node))
+				nodes[s].child[b] = int32(len(nodes) - 1)
+			}
+			s = nodes[s].child[b]
+		}
+		nodes[s].own = append(nodes[s].own, int32(pid))
+	}
+
+	// BFS: failure links, inherited outputs, and the dense goto/fail-resolved
+	// transition table in one pass (fail(v) is always closer to the root, so
+	// its row and output list are complete before v is processed).
+	c.next = make([]int32, len(nodes)*256)
+	outs := make([][]int32, len(nodes))
+	queue := make([]int32, 0, len(nodes))
+	root := nodes[0]
+	for b := 0; b < 256; b++ {
+		if ch := root.child[b]; ch != 0 {
+			nodes[ch].fail = 0
+			queue = append(queue, ch)
+		}
+		c.next[b] = root.child[b] // root row: absent transitions stay at root
+	}
+	outs[0] = root.own
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
+		f := nodes[v].fail
+		outs[v] = append(append([]int32{}, nodes[v].own...), outs[f]...)
+		row := v * 256
+		frow := f * 256
+		for b := 0; b < 256; b++ {
+			if ch := nodes[v].child[b]; ch != 0 {
+				nodes[ch].fail = c.next[frow+int32(b)]
+				queue = append(queue, ch)
+				c.next[row+int32(b)] = ch
+			} else {
+				c.next[row+int32(b)] = c.next[frow+int32(b)]
+			}
+		}
+	}
+
+	// Flatten the per-state output lists.
+	c.outStart = make([]int32, len(nodes)+1)
+	for s, o := range outs {
+		c.outStart[s+1] = c.outStart[s] + int32(len(o))
+		c.outPat = append(c.outPat, o...)
+	}
+	return c
+}
+
+var (
+	compiledOnce sync.Once
+	compiled     *Classifier
+)
+
+// Compiled returns the process-wide classifier compiled from the study's
+// weighted keyword scheme. The build runs once, on first use.
+func Compiled() *Classifier {
+	compiledOnce.Do(func() { compiled = buildClassifier(directionKeywords) })
+	return compiled
+}
+
+// isASCIISpace reports the bytes strings.Fields splits on in ASCII text.
+func isASCIISpace(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\v' || b == '\f' || b == '\r'
+}
+
+// lowerASCII folds A-Z onto a-z, leaving every other byte alone — exactly
+// strings.ToLower restricted to ASCII input.
+func lowerASCII(b byte) byte {
+	if 'A' <= b && b <= 'Z' {
+		return b + ('a' - 'A')
+	}
+	return b
+}
+
+// step advances the DFA by one byte and records any pattern hits.
+func (c *Classifier) step(state int32, b byte, s *ClassifyScratch) int32 {
+	state = c.next[state*256+int32(b)]
+	for i := c.outStart[state]; i < c.outStart[state+1]; i++ {
+		pid := c.outPat[i]
+		if s.seen[pid] != s.epoch {
+			s.seen[pid] = s.epoch
+			s.fired = append(s.fired, pid)
+			s.Scores[c.pats[pid].dir] += c.pats[pid].weight
+		}
+	}
+	return state
+}
+
+// scanASCII runs the fused normalize-and-match pass over pure-ASCII text:
+// whitespace runs collapse to a single separating space (leading and
+// trailing runs vanish), uppercase folds to lowercase, and every
+// transformed byte advances the DFA. It reports false without completing
+// when it meets a non-ASCII byte.
+func (c *Classifier) scanASCII(text string, s *ClassifyScratch) bool {
+	state := int32(0)
+	pendingSpace := false
+	inWord := false
+	for i := 0; i < len(text); i++ {
+		b := text[i]
+		if b >= 0x80 {
+			return false
+		}
+		if isASCIISpace(b) {
+			if inWord {
+				pendingSpace = true
+			}
+			continue
+		}
+		if pendingSpace {
+			state = c.step(state, ' ', s)
+			pendingSpace = false
+		}
+		inWord = true
+		state = c.step(state, lowerASCII(b), s)
+	}
+	return true
+}
+
+// scanNormalized matches pre-normalized text (already lowercased and
+// space-collapsed) byte by byte — the non-ASCII fallback path.
+func (c *Classifier) scanNormalized(text string, s *ClassifyScratch) {
+	state := int32(0)
+	for i := 0; i < len(text); i++ {
+		state = c.step(state, text[i], s)
+	}
+}
+
+// winner replicates the reference tie-break exactly: directions compete in
+// canonical order under strict improvement, starting from Orchestration at
+// score zero (the no-match fallback).
+func winner(scores *[numDirections]float64) int {
+	best := int(catalog.Orchestration.Index())
+	bestScore := 0.0
+	for d := 0; d < numDirections; d++ {
+		if scores[d] > bestScore {
+			best = d
+			bestScore = scores[d]
+		}
+	}
+	return best
+}
+
+// ClassifyInto classifies one description with zero steady-state
+// allocations, returning the canonical index of the winning direction.
+// Scores and the matched set of the winning direction are left in s
+// (read them via s.Scores and MatchedAppend) until the next call.
+func (c *Classifier) ClassifyInto(desc string, s *ClassifyScratch) int {
+	s.begin(c)
+	if !c.scanASCII(desc, s) {
+		// Non-ASCII input: rerun over the materialized normalized form.
+		s.begin(c)
+		c.scanNormalized(normalize(desc), s)
+	}
+	w := winner(&s.Scores)
+	s.nMatched = 0
+	for _, pid := range s.fired {
+		if int(c.pats[pid].dir) == w {
+			s.nMatched++
+		}
+	}
+	return w
+}
+
+// ClassifyBytes is ClassifyInto over a byte slice — the corpus pipeline
+// classifies descriptions straight out of reused generation buffers without
+// converting them to strings. The scan never retains the slice.
+func (c *Classifier) ClassifyBytes(desc []byte, s *ClassifyScratch) int {
+	s.begin(c)
+	state := int32(0)
+	pendingSpace := false
+	inWord := false
+	ascii := true
+	for i := 0; i < len(desc); i++ {
+		b := desc[i]
+		if b >= 0x80 {
+			ascii = false
+			break
+		}
+		if isASCIISpace(b) {
+			if inWord {
+				pendingSpace = true
+			}
+			continue
+		}
+		if pendingSpace {
+			state = c.step(state, ' ', s)
+			pendingSpace = false
+		}
+		inWord = true
+		state = c.step(state, lowerASCII(b), s)
+	}
+	if !ascii {
+		s.begin(c)
+		c.scanNormalized(normalize(string(desc)), s)
+	}
+	w := winner(&s.Scores)
+	s.nMatched = 0
+	for _, pid := range s.fired {
+		if int(c.pats[pid].dir) == w {
+			s.nMatched++
+		}
+	}
+	return w
+}
+
+// Matched reports how many distinct keywords of the winning direction the
+// last classified document hit.
+func (s *ClassifyScratch) Matched() int { return s.nMatched }
+
+// MatchedAppend appends the distinct matched keywords of the winning
+// direction w (as returned by the last ClassifyInto/ClassifyBytes) to dst
+// in sorted order and returns the extended slice. With a capacious dst it
+// does not allocate.
+func (c *Classifier) MatchedAppend(dst []string, w int, s *ClassifyScratch) []string {
+	n := len(dst)
+	for _, pid := range s.fired {
+		if int(c.pats[pid].dir) == w {
+			dst = append(dst, c.pats[pid].kw)
+		}
+	}
+	sort.Strings(dst[n:])
+	return dst
+}
+
+// Patterns returns the number of compiled keywords.
+func (c *Classifier) Patterns() int { return len(c.pats) }
+
+// States returns the number of DFA states (diagnostics and tests).
+func (c *Classifier) States() int { return len(c.outStart) - 1 }
+
+// SchemeFingerprint is the stable identity of the compiled keyword scheme:
+// a SHA-256 over every (direction, keyword, weight) triple in canonical
+// order. The corpus engine folds it into its per-shard memo keys, so
+// editing directionKeywords invalidates every cached classification
+// aggregate automatically — no manual version bump to forget.
+func SchemeFingerprint() string {
+	h := sha256.New()
+	for _, p := range Compiled().pats {
+		fmt.Fprintf(h, "%d:%s:%g\n", p.dir, p.kw, p.weight)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// KeywordsFor returns the keyword list of one direction, sorted — the
+// vocabulary seam the synthetic corpus generator plants signal from.
+func KeywordsFor(d catalog.Direction) []string {
+	kws := make([]string, 0, len(directionKeywords[d]))
+	for kw := range directionKeywords[d] {
+		kws = append(kws, kw)
+	}
+	sort.Strings(kws)
+	return kws
+}

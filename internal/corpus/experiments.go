@@ -1,0 +1,92 @@
+package corpus
+
+// The corpus workloads as registered experiments: corpus/classify (the
+// sharded classification run: confusion matrix, accuracy, direction
+// distribution) and corpus/stats (the corpus-shape statistics). Both
+// derive the same generator seed from the Env ("corpus" stream), so they
+// share the per-shard aggregate cache: with a store, whichever runs first
+// executes the shard bodies and the other resolves every shard warm.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/exp"
+)
+
+// RegistryN is the corpus size of the registered experiments: large enough
+// to exercise real sharding (several full shards plus a partial one), small
+// enough that `make experiments` stays interactive. Bigger corpora run
+// through ClassifyExperiment/StatsExperiment with an explicit n.
+const RegistryN = 10_000
+
+// corpusSeedStream names the Env stream both experiments draw the
+// generator seed from — shared deliberately (see the package comment).
+const corpusSeedStream = "corpus"
+
+// Experiments returns the corpus workloads for registry assembly.
+func Experiments() []exp.Experiment {
+	return []exp.Experiment{ClassifyExperiment(RegistryN), StatsExperiment(RegistryN)}
+}
+
+// params renders the spec as the experiment's declarative identity. Every
+// behaviour-determining knob is here: a change to any of them changes the
+// Spec fingerprint and therefore every memoized Result derived from it.
+func params(s Spec) map[string]any {
+	return map[string]any{
+		"n":        s.N,
+		"overlap":  s.Overlap,
+		"noise":    s.Noise,
+		"keywords": s.Keywords,
+	}
+}
+
+// ClassifyExperiment builds the sharded-classification experiment over a
+// DefaultSpec corpus of n entries.
+func ClassifyExperiment(n int) exp.Experiment {
+	s := DefaultSpec(n)
+	return exp.Experiment{
+		Spec: exp.Spec{Name: "corpus/classify", Params: params(s)},
+		Desc: fmt.Sprintf("sharded automaton classification of a %d-entry synthetic corpus (confusion, accuracy)", n),
+		Run: func(ctx context.Context, env *exp.Env, spec exp.Spec) (*exp.Result, error) {
+			g := NewGenerator(s, env.SeedFor(corpusSeedStream))
+			agg, _, err := ClassifyAll(env, g)
+			if err != nil {
+				return nil, err
+			}
+			return &exp.Result{
+				Artifacts: map[string]string{"classification": agg.RenderClassify()},
+				Metrics: map[string]float64{
+					"entries":       float64(agg.Total),
+					"shards":        float64(NumShards(s.N)),
+					"accuracy":      agg.Accuracy(),
+					"misclassified": float64(agg.Total - agg.Correct()),
+				},
+			}, nil
+		},
+	}
+}
+
+// StatsExperiment builds the corpus-shape experiment over the same corpus.
+func StatsExperiment(n int) exp.Experiment {
+	s := DefaultSpec(n)
+	return exp.Experiment{
+		Spec: exp.Spec{Name: "corpus/stats", Params: params(s)},
+		Desc: fmt.Sprintf("direction mix and description-length statistics of the %d-entry synthetic corpus", n),
+		Run: func(ctx context.Context, env *exp.Env, spec exp.Spec) (*exp.Result, error) {
+			g := NewGenerator(s, env.SeedFor(corpusSeedStream))
+			agg, _, err := ClassifyAll(env, g)
+			if err != nil {
+				return nil, err
+			}
+			return &exp.Result{
+				Artifacts: map[string]string{"stats": agg.RenderStats()},
+				Metrics: map[string]float64{
+					"entries":           float64(agg.Total),
+					"mean_len":          float64(agg.DescBytes) / float64(max(agg.Total, 1)),
+					"kw_hits_per_entry": float64(agg.KeywordHits) / float64(max(agg.Total, 1)),
+				},
+			}, nil
+		},
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package corpus
+
+// bigCorpusN is the end-to-end corpus size of the million-entry test. The
+// race detector multiplies the cost of every memory access, so the race
+// build scales the same test down (size_race_test.go) instead of skipping
+// it.
+const bigCorpusN = 1_000_000

@@ -1,0 +1,7 @@
+//go:build race
+
+package corpus
+
+// bigCorpusN under the race detector: the same end-to-end path at a size
+// the instrumented build sweeps in seconds.
+const bigCorpusN = 50_000

@@ -14,6 +14,7 @@ import (
 	"repro/internal/capio"
 	"repro/internal/continuum"
 	"repro/internal/core"
+	"repro/internal/corpus"
 	"repro/internal/energy"
 	"repro/internal/exp"
 	"repro/internal/faas"
@@ -47,6 +48,11 @@ func New(study *core.Study) (*exp.Registry, error) {
 	reg := exp.NewRegistry()
 	reg.SetName("sms/experiments")
 	for _, e := range scenarios.Experiments() {
+		if err := reg.Register(e); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range corpus.Experiments() {
 		if err := reg.Register(e); err != nil {
 			return nil, err
 		}

@@ -54,6 +54,8 @@ func TestRegistryCompleteness(t *testing.T) {
 		"continuum/faas":   true,
 		"continuum/energy": true,
 		"continuum/io":     true,
+		"corpus/classify":  true,
+		"corpus/stats":     true,
 	}
 
 	seen := map[string]bool{}
