@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race audit clockgate randgate experiments regress bench bench-compare bench-kernels bench-gate bench-cache bench-events bench-serve bench-runpack bench-corpus artifacts examples outputs clean
+.PHONY: all build vet test race audit clockgate randgate experiments regress bench bench-compare bench-kernels bench-gate bench-cache bench-events bench-serve bench-runpack bench-corpus bench-scen artifacts examples outputs clean
 
 # audit (vet + race + clock gate + rand gate) is part of all: the parallel
 # substrate (internal/par) and every hot path wired onto it must stay clean
@@ -13,10 +13,11 @@ GO ?= go
 # bench-cache records the cold-vs-warm content-addressed report build;
 # bench-serve records the smsd serving-path benchmarks (throughput and
 # modeled latency quantiles included);
-# bench-gate re-measures the kernel, serving, cas, runpack and corpus
-# benchmarks and fails the build if any regresses against the committed
-# BENCH_kernels.json / BENCH_serve.json / BENCH_cas.json /
-# BENCH_runpack.json / BENCH_corpus.json baselines; bench-events records the event-engine and
+# bench-gate re-measures the kernel, serving, cas, runpack, corpus and
+# generated-scenario benchmarks and fails the build if any regresses against
+# the committed BENCH_kernels.json / BENCH_serve.json / BENCH_cas.json /
+# BENCH_runpack.json / BENCH_corpus.json / BENCH_scen.json baselines;
+# bench-events records the event-engine and
 # sweep benchmarks; regress re-executes the committed golden runpacks at
 # workers 1, 4 and 8 and fails on any byte of material drift (DESIGN.md §8).
 all: build test audit experiments regress bench-cache bench-serve bench-gate bench-events
@@ -56,7 +57,7 @@ clockgate:
 EXP_PKGS = internal/exp internal/experiments internal/scenarios internal/report \
 	internal/orchestrator internal/ppc internal/pmu internal/bigdata \
 	internal/fog internal/edgeml internal/serve internal/runpack internal/jcs \
-	internal/corpus examples cmd
+	internal/corpus internal/scengen examples cmd
 
 # Enforce the experiment randomness contract: experiment-registered packages
 # (and the examples/CLIs that drive them) must derive every random stream
@@ -184,6 +185,9 @@ bench-gate:
 	$(GO) test -run '^$$' -bench '$(CORPUS_BENCH_RE)' -benchmem -count 5 $(CORPUS_BENCH_PKGS) | tee bench_gate.txt
 	$(BENCH_TO_JSON) bench_gate.txt > bench_gate_head.json
 	$(GO) run ./cmd/benchdiff -threshold 0.25 -alloc-threshold 0.10 BENCH_corpus.json bench_gate_head.json
+	$(GO) test -run '^$$' -bench '$(SCEN_BENCH_RE)' -benchmem -count 5 $(SCEN_BENCH_PKGS) | tee bench_gate.txt
+	$(BENCH_TO_JSON) bench_gate.txt > bench_gate_head.json
+	$(GO) run ./cmd/benchdiff -threshold 0.25 -alloc-threshold 0.10 BENCH_scen.json bench_gate_head.json
 	@rm -f bench_gate.txt bench_gate_head.json
 
 # The discrete-event engine and million-event sweep benchmarks: the engine
@@ -224,6 +228,18 @@ bench-corpus:
 	$(GO) test -run '^$$' -bench '$(CORPUS_BENCH_RE)' -benchmem -count 5 $(CORPUS_BENCH_PKGS) | tee bench_corpus.txt
 	$(BENCH_TO_JSON) bench_corpus.txt > BENCH_corpus.json
 	@echo wrote BENCH_corpus.json
+
+# The generated-scenario hot paths gated by bench-gate: pure (seed, i) →
+# composition generation, the cold sharded family sweep, and the warm sweep
+# (every shard a cas hit, zero configuration bodies).
+SCEN_BENCH_RE = Scen(GenConfigs|FamilyCold|FamilyWarm)$$
+SCEN_BENCH_PKGS = ./internal/scengen
+
+# Refresh the committed generated-scenario baseline (BENCH_scen.json).
+bench-scen:
+	$(GO) test -run '^$$' -bench '$(SCEN_BENCH_RE)' -benchmem -count 5 $(SCEN_BENCH_PKGS) | tee bench_scen.txt
+	$(BENCH_TO_JSON) bench_scen.txt > BENCH_scen.json
+	@echo wrote BENCH_scen.json
 
 # Convert the report-build benchmark output into the cas benchmark record:
 # ns/op plus the cached-step count, deliberately *without* allocs/op (the
@@ -276,4 +292,4 @@ clean:
 		bench_kernels.txt BENCH_kernels.json bench_cas.txt BENCH_cas.json \
 		bench_gate.txt bench_gate_head.json bench_events.txt BENCH_events.json \
 		bench_serve.txt BENCH_serve.json bench_runpack.txt BENCH_runpack.json \
-		bench_corpus.txt BENCH_corpus.json
+		bench_corpus.txt BENCH_corpus.json bench_scen.txt BENCH_scen.json

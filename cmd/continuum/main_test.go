@@ -1,10 +1,13 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/experiments"
 )
 
 func TestFaaSScenario(t *testing.T) {
@@ -100,7 +103,8 @@ func TestRegistryFlags(t *testing.T) {
 	if err := run([]string{"-list"}, &list); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"continuum/faas", "continuum/energy", "scenario/3.4/liqo", "37 experiments"} {
+	for _, want := range []string{"continuum/faas", "continuum/energy", "scenario/3.4/liqo",
+		fmt.Sprintf("%d experiments", experiments.ExpectedExperiments)} {
 		if !strings.Contains(list.String(), want) {
 			t.Errorf("-list missing %q", want)
 		}

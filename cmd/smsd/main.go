@@ -19,6 +19,8 @@
 //	GET  /experiments/{id}                     poll status
 //	GET  /experiments/{id}/artifacts/{name}    stream one artifact
 //	GET  /experiments/{id}/runpack             sealed, signed runpack bundle
+//	GET  /families                             list generated scengen families
+//	POST /families/{name}                      submit one family sweep {"seed": 7}
 //	GET  /metrics                              Prometheus text exposition
 //
 // -loadtest runs the internal/serve/loadgen replay instead of listening:

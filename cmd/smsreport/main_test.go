@@ -1,12 +1,14 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/catalog"
+	"repro/internal/experiments"
 )
 
 func runCapture(t *testing.T, args ...string) string {
@@ -222,8 +224,10 @@ func TestRegistryFlags(t *testing.T) {
 		}
 	}
 
+	n := experiments.ExpectedExperiments
 	list := runCapture(t, "-list")
-	for _, want := range []string{"report.full", "scenario/3.1/fastflow", "sweep/faults", "continuum/io", "37 experiments"} {
+	for _, want := range []string{"report.full", "scenario/3.1/fastflow", "sweep/faults", "continuum/io", "scengen/faults",
+		fmt.Sprintf("%d experiments", n)} {
 		if !strings.Contains(list, want) {
 			t.Errorf("-list missing %q", want)
 		}
@@ -231,11 +235,11 @@ func TestRegistryFlags(t *testing.T) {
 
 	dir := t.TempDir()
 	cold := runCapture(t, "-run", "all", "-cache", filepath.Join(dir, "c"))
-	if !strings.Contains(cold, "37 experiments ok (hits=0 misses=37)") {
+	if !strings.Contains(cold, fmt.Sprintf("%d experiments ok (hits=0 misses=%d)", n, n)) {
 		t.Errorf("cold sweep accounting wrong:\n%s", cold)
 	}
 	warm := runCapture(t, "-run", "all", "-cache", filepath.Join(dir, "c"))
-	if !strings.Contains(warm, "37 experiments ok (hits=37 misses=0)") {
+	if !strings.Contains(warm, fmt.Sprintf("%d experiments ok (hits=%d misses=0)", n, n)) {
 		t.Errorf("warm sweep executed bodies:\n%s", warm)
 	}
 	if !strings.Contains(warm, "report.full") || !strings.Contains(warm, "cached") {

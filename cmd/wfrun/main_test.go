@@ -1,10 +1,13 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/experiments"
 )
 
 func TestDemoRun(t *testing.T) {
@@ -157,7 +160,8 @@ func TestRegistryFlags(t *testing.T) {
 	if err := run([]string{"-list"}, &list); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"sweep/faults", "sweep/resume", "sweep/slack", "37 experiments"} {
+	for _, want := range []string{"sweep/faults", "sweep/resume", "sweep/slack",
+		fmt.Sprintf("%d experiments", experiments.ExpectedExperiments)} {
 		if !strings.Contains(list.String(), want) {
 			t.Errorf("-list missing %q", want)
 		}

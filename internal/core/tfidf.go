@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+)
+
+// This file layers a TF-IDF ranking on top of the keyword scheme. The
+// classifier answers "which direction does this description belong to?";
+// the ranking answers the complementary mapping-study question "which
+// catalog tools are most representative of each direction?". Terms are
+// the scheme's own keywords, so the ranking inherits the scheme identity
+// (SchemeFingerprint) and needs no separate vocabulary to maintain.
+
+// RankedTool is one catalog tool with its TF-IDF relevance score for a
+// direction.
+type RankedTool struct {
+	Tool  string
+	Score float64
+}
+
+// TFIDFRanking holds per-direction tool rankings plus the agreement of
+// the ranking's per-tool argmax against the keyword classifier. It is a
+// pure function of the catalog and the keyword scheme: building it twice
+// yields identical values, so it can be golden-pinned byte for byte.
+type TFIDFRanking struct {
+	byDirection map[catalog.Direction][]RankedTool
+	top         map[string]catalog.Direction
+	agree       int
+	total       int
+}
+
+// RankTools builds the TF-IDF ranking over every tool in the catalog.
+//
+// For each direction d and tool t:
+//
+//	score(d, t) = Σ_kw weight(d, kw) · tf(kw, t) · idf(kw)
+//
+// where tf is the non-overlapping occurrence count of the keyword in the
+// normalized description, idf = ln((1+N)/(1+df)) + 1 over the N catalog
+// documents (smoothed so a keyword present in every document still
+// contributes), and weight is the scheme weight. Keywords are visited in
+// sorted order so the float summation order — and therefore the exact
+// bits of every score — is fixed.
+func RankTools(c *catalog.Catalog) *TFIDFRanking {
+	docs := make(map[string]string, len(c.Tools))
+	var names []string
+	for _, t := range c.Tools {
+		docs[t.Name] = normalize(t.Description)
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+
+	// Document frequency over the union vocabulary.
+	df := map[string]int{}
+	for _, d := range catalog.Directions() {
+		for _, kw := range KeywordsFor(d) {
+			if _, seen := df[kw]; seen {
+				continue
+			}
+			n := 0
+			for _, name := range names {
+				if strings.Contains(docs[name], kw) {
+					n++
+				}
+			}
+			df[kw] = n
+		}
+	}
+	nDocs := float64(len(names))
+	idf := func(kw string) float64 {
+		return math.Log((1+nDocs)/(1+float64(df[kw]))) + 1
+	}
+
+	r := &TFIDFRanking{
+		byDirection: map[catalog.Direction][]RankedTool{},
+		top:         map[string]catalog.Direction{},
+		total:       len(names),
+	}
+	scores := map[string]map[catalog.Direction]float64{}
+	for _, d := range catalog.Directions() {
+		kws := KeywordsFor(d)
+		var ranked []RankedTool
+		for _, name := range names {
+			doc := docs[name]
+			var s float64
+			for _, kw := range kws {
+				if tf := strings.Count(doc, kw); tf > 0 {
+					s += directionKeywords[d][kw] * float64(tf) * idf(kw)
+				}
+			}
+			if scores[name] == nil {
+				scores[name] = map[catalog.Direction]float64{}
+			}
+			scores[name][d] = s
+			if s > 0 {
+				ranked = append(ranked, RankedTool{Tool: name, Score: s})
+			}
+		}
+		sort.SliceStable(ranked, func(i, j int) bool {
+			if ranked[i].Score != ranked[j].Score {
+				return ranked[i].Score > ranked[j].Score
+			}
+			return ranked[i].Tool < ranked[j].Tool
+		})
+		r.byDirection[d] = ranked
+	}
+
+	// Per-tool argmax, ties resolved in canonical direction order like the
+	// classifier; an all-zero tool falls back to Orchestration the same way.
+	for _, name := range names {
+		best := catalog.Orchestration
+		bestScore := 0.0
+		for _, d := range catalog.Directions() {
+			if s := scores[name][d]; s > bestScore {
+				best, bestScore = d, s
+			}
+		}
+		r.top[name] = best
+		if ClassifyDescription(docs[name]).Direction == best {
+			r.agree++
+		}
+	}
+	return r
+}
+
+// Direction returns the ranked tools (nonzero scores, descending) for one
+// direction. Callers must not mutate the returned slice.
+func (r *TFIDFRanking) Direction(d catalog.Direction) []RankedTool {
+	return r.byDirection[d]
+}
+
+// TopDirection returns the direction whose TF-IDF score is highest for
+// the named tool (Orchestration for unknown or zero-scoring tools).
+func (r *TFIDFRanking) TopDirection(tool string) catalog.Direction {
+	if d, ok := r.top[tool]; ok {
+		return d
+	}
+	return catalog.Orchestration
+}
+
+// Agreement is the fraction of catalog tools whose TF-IDF argmax matches
+// the keyword classifier's direction — the cross-check pinned by the
+// golden.
+func (r *TFIDFRanking) Agreement() float64 {
+	if r.total == 0 {
+		return 0
+	}
+	return float64(r.agree) / float64(r.total)
+}
+
+// Render canonicalizes the full ranking as text: every direction in paper
+// order with its ranked tools and scores, then the classifier agreement.
+// The bytes are a pure function of (catalog, scheme) and back the golden.
+func (r *TFIDFRanking) Render() string {
+	var b strings.Builder
+	for _, d := range catalog.Directions() {
+		fmt.Fprintf(&b, "direction: %s\n", d)
+		for i, rt := range r.byDirection[d] {
+			fmt.Fprintf(&b, "  %2d. %-16s %.6f\n", i+1, rt.Tool, rt.Score)
+		}
+	}
+	fmt.Fprintf(&b, "agreement: %d/%d = %.4f\n", r.agree, r.total, r.Agreement())
+	return b.String()
+}

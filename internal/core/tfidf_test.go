@@ -1,0 +1,98 @@
+package core
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+// TestTFIDFGolden pins the full ranking — per-direction tool orders,
+// exact scores, and the classifier-agreement fraction — byte for byte.
+// Regenerate with -update only after an intentional scheme or catalog
+// change.
+func TestTFIDFGolden(t *testing.T) {
+	const path = "testdata/tfidf_golden.txt"
+	got := RankTools(catalog.Default()).Render()
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("TF-IDF ranking drifted from the pinned golden.\nDiff the output of -update against git to see the drift.")
+	}
+}
+
+// The ranking is a pure function of the catalog: two independent builds
+// are deeply equal, including the exact float bits of every score.
+func TestTFIDFDeterministic(t *testing.T) {
+	a, b := RankTools(catalog.Default()), RankTools(catalog.Default())
+	if a.Render() != b.Render() {
+		t.Fatal("two RankTools builds render differently")
+	}
+	for _, d := range catalog.Directions() {
+		if !reflect.DeepEqual(a.Direction(d), b.Direction(d)) {
+			t.Errorf("direction %s: rankings differ between builds", d)
+		}
+	}
+}
+
+// Structural invariants: scores strictly positive and sorted descending
+// (name-ascending on ties), every ranked tool exists in the catalog, and
+// every catalog tool has a top direction.
+func TestTFIDFRankingShape(t *testing.T) {
+	c := catalog.Default()
+	r := RankTools(c)
+	known := map[string]bool{}
+	for _, tool := range c.Tools {
+		known[tool.Name] = true
+	}
+	for _, d := range catalog.Directions() {
+		ranked := r.Direction(d)
+		for i, rt := range ranked {
+			if !known[rt.Tool] {
+				t.Errorf("%s: ranked tool %q not in catalog", d, rt.Tool)
+			}
+			if rt.Score <= 0 {
+				t.Errorf("%s: %q has non-positive score %g", d, rt.Tool, rt.Score)
+			}
+			if i > 0 {
+				prev := ranked[i-1]
+				if rt.Score > prev.Score {
+					t.Errorf("%s: scores not descending at %d", d, i)
+				}
+				if rt.Score == prev.Score && rt.Tool < prev.Tool {
+					t.Errorf("%s: tie at %d not broken by name", d, i)
+				}
+			}
+		}
+	}
+	for _, tool := range c.Tools {
+		if !r.TopDirection(tool.Name).Valid() {
+			t.Errorf("tool %q has invalid top direction", tool.Name)
+		}
+	}
+	if r.TopDirection("no-such-tool") != catalog.Orchestration {
+		t.Error("unknown tool should fall back to Orchestration")
+	}
+}
+
+// The TF-IDF argmax must mostly agree with the keyword automaton: both
+// derive from the same scheme, so wide divergence means the ranking layer
+// is broken. The exact fraction is pinned by the golden; this guards the
+// floor independently.
+func TestTFIDFAgreesWithClassifier(t *testing.T) {
+	r := RankTools(catalog.Default())
+	if got := r.Agreement(); got < 0.75 {
+		t.Fatalf("agreement with classifier = %.4f, want >= 0.75", got)
+	}
+}

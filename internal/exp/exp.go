@@ -94,6 +94,16 @@ func (e *Env) SeedFor(name string) int64 {
 // several streams), so no two experiments ever share a stream.
 func (e *Env) Rng(name string) *rng.Rand { return rng.New(e.SeedFor(name)) }
 
+// IndexedSeed derives the seed of element i of the named stream:
+// par.SplitSeed over the stream's root seed. It is the contract behind
+// indexed generation (corpus entries, scengen configurations) — element i
+// is a pure function of (Env.Seed, name, i), independent of every other
+// element, so indexed families shard and memoize without ordering
+// constraints.
+func (e *Env) IndexedSeed(name string, i int) int64 {
+	return par.SplitSeed(e.SeedFor(name), i)
+}
+
 // Span is a nil-safe handle for an in-flight telemetry span.
 type Span struct{ a *telemetry.ActiveSpan }
 

@@ -21,8 +21,17 @@ import (
 	"repro/internal/orchestrator"
 	"repro/internal/report"
 	"repro/internal/scenarios"
+	"repro/internal/scengen"
 	"repro/internal/workflow"
 )
+
+// ExpectedExperiments is the single source of truth for the registry size:
+// 28 Table 2 scenarios, the engine workloads (report, sweeps, continuum
+// what-ifs, corpus), and the generated scengen families. Every CLI's
+// "<n> experiments" pin and the completeness test derive from this one
+// constant, so registry growth is a one-line change here (the completeness
+// test still cross-checks the actual names).
+const ExpectedExperiments = 42
 
 // demoPipeline is the canonical fan-out/fan-in workflow the sweep
 // experiments run over: ingest → 8 shards → train → publish (the same
@@ -53,6 +62,11 @@ func New(study *core.Study) (*exp.Registry, error) {
 		}
 	}
 	for _, e := range corpus.Experiments() {
+		if err := reg.Register(e); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range scengen.Experiments() {
 		if err := reg.Register(e); err != nil {
 			return nil, err
 		}

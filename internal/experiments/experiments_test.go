@@ -47,15 +47,20 @@ func TestRegistryCompleteness(t *testing.T) {
 		}
 	}
 	engine := map[string]bool{
-		"report.full":      true,
-		"sweep/faults":     true,
-		"sweep/resume":     true,
-		"sweep/slack":      true,
-		"continuum/faas":   true,
-		"continuum/energy": true,
-		"continuum/io":     true,
-		"corpus/classify":  true,
-		"corpus/stats":     true,
+		"report.full":       true,
+		"sweep/faults":      true,
+		"sweep/resume":      true,
+		"sweep/slack":       true,
+		"continuum/faas":    true,
+		"continuum/energy":  true,
+		"continuum/io":      true,
+		"corpus/classify":   true,
+		"corpus/stats":      true,
+		"scengen/faults":    true,
+		"scengen/placement": true,
+		"scengen/energy":    true,
+		"scengen/survey":    true,
+		"scengen/corpus":    true,
 	}
 
 	seen := map[string]bool{}
@@ -80,6 +85,9 @@ func TestRegistryCompleteness(t *testing.T) {
 	}
 	if got, wantN := reg.Len(), len(want)+len(engine); got != wantN {
 		t.Errorf("registry has %d experiments, want %d", got, wantN)
+	}
+	if reg.Len() != ExpectedExperiments {
+		t.Errorf("registry has %d experiments, ExpectedExperiments says %d", reg.Len(), ExpectedExperiments)
 	}
 }
 

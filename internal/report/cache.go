@@ -26,7 +26,8 @@ import (
 // whenever a renderer changes so stale artifacts cannot be served.
 // v2: cache keys derive from the report Spec fingerprint and steps carry
 // section names instead of positional sec%02d IDs.
-const reportCacheVersion = "report/v2"
+// v3: the corpus-scale classifier-validation section joins the report.
+const reportCacheVersion = "report/v3"
 
 // ExperimentName is the registry name of the full-report experiment.
 const ExperimentName = "report.full"

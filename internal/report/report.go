@@ -278,6 +278,7 @@ func sections(s *core.Study) []section {
 			return fmt.Sprintf("\nClassification validation (keyword classifier vs manual labels): accuracy %.0f%%\n%s",
 				cm.Accuracy()*100, cm), nil
 		}},
+		{"corpus", func() (string, error) { return corpusSectionText() }},
 		{"maturity", func() (string, error) {
 			var b strings.Builder
 			b.WriteString("\nExtension: tool maturity (reference publication recency)\n")

@@ -1,0 +1,89 @@
+package scenarios
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/exp"
+	"repro/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/results_golden.json from the current registry")
+
+// goldenEntry is one scenario experiment's observable surface: everything
+// that must survive the substrate refactor byte for byte — the published
+// name, the Spec fingerprint (memo-key root), the derived per-experiment
+// seed, and the Result artifacts/metrics.
+type goldenEntry struct {
+	Name        string             `json:"name"`
+	App         string             `json:"app"`
+	Tool        string             `json:"tool"`
+	Fingerprint string             `json:"fingerprint"`
+	Seed        int64              `json:"seed"`
+	Artifacts   map[string]string  `json:"artifacts"`
+	Metrics     map[string]float64 `json:"metrics"`
+}
+
+func currentGolden(t *testing.T) []goldenEntry {
+	t.Helper()
+	sim := clock.NewSim(1)
+	env := &exp.Env{Seed: 1, Clock: sim, Metrics: telemetry.NewWithClock(sim)}
+	var out []goldenEntry
+	for _, e := range Experiments() {
+		fp, err := e.Spec.Fingerprint()
+		if err != nil {
+			t.Fatalf("%s: fingerprint: %v", e.Spec.Name, err)
+		}
+		res, err := e.Run(context.Background(), env, e.Spec)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Spec.Name, err)
+		}
+		out = append(out, goldenEntry{
+			Name:        e.Spec.Name,
+			App:         e.App,
+			Tool:        e.Tool,
+			Fingerprint: fp,
+			Seed:        env.SeedFor(e.Spec.Name),
+			Artifacts:   res.Artifacts,
+			Metrics:     res.Metrics,
+		})
+	}
+	return out
+}
+
+// TestResultsMatchGolden pins the 28 Table 2 scenario experiments to the
+// pre-refactor golden: names, Spec fingerprints, derived seeds, and Result
+// artifacts/metrics must all be byte-identical to the closure-era registry.
+// Regenerate (only for a deliberate, reviewed change of surface) with:
+//
+//	go test ./internal/scenarios -run TestResultsMatchGolden -update
+func TestResultsMatchGolden(t *testing.T) {
+	got, err := json.MarshalIndent(currentGolden(t), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", "results_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (generate with -update): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("scenario results drifted from the pre-refactor golden %s;\nthe 28 Table 2 reproductions must stay byte-identical", path)
+	}
+}

@@ -1,0 +1,50 @@
+package scenarios
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"repro/internal/exp"
+)
+
+// RunOps executes a composition: each op in order against a fresh State.
+// This single generic runner replaces the 28 bespoke closure bodies — a
+// scenario (or a generated configuration) is purely the data it hands in.
+func RunOps(ctx context.Context, env *exp.Env, ops []Op) (*State, error) {
+	if len(ops) == 0 {
+		return nil, errors.New("scenarios: empty composition")
+	}
+	st := &State{}
+	for i, op := range ops {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := op.Apply(ctx, env, st); err != nil {
+			return nil, fmt.Errorf("op %d (%s): %w", i, op.Kind(), err)
+		}
+	}
+	return st, nil
+}
+
+// CompositionFingerprint is the canonical identity of an op sequence:
+// SHA-256 over the length-prefixed per-op fingerprints. Two compositions
+// with the same fingerprint run the same ops with the same parameters.
+func CompositionFingerprint(ops []Op) (string, error) {
+	h := sha256.New()
+	field := func(b []byte) {
+		fmt.Fprintf(h, "%d:", len(b))
+		h.Write(b)
+	}
+	field([]byte("scenarios/composition/v1"))
+	for _, op := range ops {
+		fp, err := OpFingerprint(op)
+		if err != nil {
+			return "", err
+		}
+		field([]byte(fp))
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

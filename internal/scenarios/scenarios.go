@@ -1,7 +1,13 @@
 // Package scenarios backs every checkmark of the paper's Table 2 with a
 // runnable integration scenario: for each (application, tool) selection the
-// providers made, a function exercises the corresponding substrate pair and
-// verifies the behaviour the application section (3.1–3.10) motivates.
+// providers made, a composition of substrate ops (ops.go) exercises the
+// corresponding substrate pair and verifies the behaviour the application
+// section (3.1–3.10) motivates.
+//
+// Scenarios are data, not code: each is a named []Op value executed by the
+// generic runner (runner.go), so the same vocabulary that reproduces
+// Table 2 also generates the seeded what-if configurations of
+// internal/scengen.
 //
 // The registry is validated against the catalog: it must contain exactly
 // one scenario per checkmark — no more, no fewer — so the claim "every
@@ -10,41 +16,55 @@ package scenarios
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"strings"
 
-	"repro/internal/exp"
-
-	"repro/internal/bigdata"
-	"repro/internal/capio"
 	"repro/internal/catalog"
-	"repro/internal/continuum"
-	"repro/internal/divexplorer"
-	"repro/internal/faas"
-	"repro/internal/interactive"
-	"repro/internal/mlir"
-	"repro/internal/netlink"
-	"repro/internal/orchestrator"
-	"repro/internal/pmu"
-	"repro/internal/ppc"
-	"repro/internal/stream"
-	"repro/internal/workflow"
-	"repro/internal/worldmodel"
+	"repro/internal/exp"
 )
 
-// Scenario is one executable Table 2 checkmark. The body receives the
-// shared experiment environment and must follow its determinism
-// obligations: every random stream derives from env.Rng, never math/rand.
+// Scenario is one executable Table 2 checkmark: a named composition of
+// substrate ops. The ops receive the shared experiment environment and
+// must follow its determinism obligations: every random stream derives
+// from env streams, never math/rand.
 type Scenario struct {
 	App  string // application ID, e.g. "3.1"
 	Tool string // tool name as in the catalog
 	Desc string
-	Run  func(ctx context.Context, env *exp.Env) error
+	Ops  []Op
 }
 
 // Key renders "app×tool".
 func (s Scenario) Key() string { return s.App + "×" + s.Tool }
+
+// Run executes the scenario's composition, discarding the final state.
+func (s Scenario) Run(ctx context.Context, env *exp.Env) error {
+	_, err := RunOps(ctx, env, s.Ops)
+	return err
+}
+
+// Exec executes the scenario's composition and returns the final state
+// (with its observations) for callers that inspect substrate outcomes.
+func (s Scenario) Exec(ctx context.Context, env *exp.Env) (*State, error) {
+	return RunOps(ctx, env, s.Ops)
+}
+
+// Shared compositions for tools selected by several applications.
+
+func fastPathOps() []Op { return []Op{FastPath{PayloadBytes: 64 << 10}} }
+
+func capioStoreOps() []Op { return []Op{CapioStream{Writes: 3, WriteBytes: 100}} }
+
+func blueprintOps() []Op {
+	return []Op{Blueprint{JSON: `{"name":"svc","components":[
+	  {"name":"front","type":"container","gflop":10,"tier":"cloud"},
+	  {"name":"worker","type":"job","gflop":500,"cores":4,"depends_on":["front"]}]}`}}
+}
+
+func federationOps() []Op {
+	return []Op{Federation{Local: "edge-cloud", Remote: "default", ShareCores: 64, Borrow: 32}}
+}
+
+func migrationOps() []Op { return []Op{ConnectionMigration{StateBytes: 1e6}} }
 
 // Registry returns all 28 scenarios.
 func Registry() []Scenario {
@@ -52,586 +72,183 @@ func Registry() []Scenario {
 		// --- 3.1 Compression of petascale collections --------------------
 		{App: "3.1", Tool: "FastFlow",
 			Desc: "stream-parallel PPC: the farmed compressor matches the sequential archive byte for byte",
-			Run: func(ctx context.Context, env *exp.Env) error {
-				files := ppc.SyntheticCorpus(6, 6, 1200, env.Rng("3.1/FastFlow/corpus"))
-				seq, err := ppc.Compress(ctx, files, ppc.ByName{}, ppc.Options{BlockSize: 8 << 10, Workers: 1})
-				if err != nil {
-					return err
-				}
-				par, err := ppc.Compress(ctx, files, ppc.ByName{}, ppc.Options{BlockSize: 8 << 10, Workers: 4})
-				if err != nil {
-					return err
-				}
-				if seq.CompressedSize != par.CompressedSize {
-					return fmt.Errorf("parallel archive diverged: %d vs %d bytes", par.CompressedSize, seq.CompressedSize)
-				}
-				return nil
+			Ops: []Op{
+				SynthCorpus{Projects: 6, FilesPer: 6, Bytes: 1200, Stream: "3.1/FastFlow/corpus"},
+				CompressCompare{BlockSize: 8 << 10, SeqWorkers: 1, ParWorkers: 4},
 			}},
 		{App: "3.1", Tool: "ParSoDA",
 			Desc: "parallel sorting/grouping phase: files grouped by project via the data-analysis pipeline",
-			Run: func(ctx context.Context, env *exp.Env) error {
-				files := ppc.SyntheticCorpus(5, 4, 600, env.Rng("3.1/ParSoDA/corpus"))
-				p := bigdata.NewPipeline[ppc.File, string](4).
-					Map(func(f ppc.File) (string, error) { return f.Name, nil }).
-					GroupBy(func(name string) string { return strings.SplitN(name, "/", 2)[0] })
-				groups, err := p.Run(ctx, files)
-				if err != nil {
-					return err
-				}
-				if len(groups) != 5 {
-					return fmt.Errorf("grouped %d projects, want 5", len(groups))
-				}
-				return nil
+			Ops: []Op{
+				SynthCorpus{Projects: 5, FilesPer: 4, Bytes: 600, Stream: "3.1/ParSoDA/corpus"},
+				GroupByProject{Parallelism: 4, WantGroups: 5},
 			}},
 		{App: "3.1", Tool: "WindFlow",
 			Desc: "streaming semantics for intra-node phases: windowed throughput accounting over block sizes",
-			Run: func(ctx context.Context, env *exp.Env) error {
-				files := ppc.SyntheticCorpus(4, 8, 800, env.Rng("3.1/WindFlow/corpus"))
-				src := stream.FromSlice(ctx, files)
-				keyed := stream.KeyBy(ctx, src, func(f ppc.File) string {
-					return strings.SplitN(f.Name, "/", 2)[0]
-				})
-				wins := stream.TumblingCount(keyed, 4)
-				sums, err := stream.AggregateWindows(wins, func(w stream.Window[ppc.File]) int {
-					n := 0
-					for _, f := range w.Items {
-						n += len(f.Data)
-					}
-					return n
-				}, stream.Workers(2)).Collect()
-				if err != nil {
-					return err
-				}
-				if len(sums) == 0 {
-					return errors.New("no windows emitted")
-				}
-				return nil
+			Ops: []Op{
+				SynthCorpus{Projects: 4, FilesPer: 8, Bytes: 800, Stream: "3.1/WindFlow/corpus"},
+				WindowedSum{Window: 4, Workers: 2},
 			}},
 
 		// --- 3.2 VisIVO --------------------------------------------------
 		{App: "3.2", Tool: "ICS",
 			Desc: "interactive HPC access: a reserved visualization session starts at its reservation",
-			Run: func(ctx context.Context, env *exp.Env) error {
-				cl, err := interactive.NewCluster(64)
-				if err != nil {
-					return err
-				}
-				if err := cl.Reserve(interactive.Reservation{ID: "viz", Cores: 8, Start: 100, End: 200}); err != nil {
-					return err
-				}
-				if err := cl.Submit(interactive.Job{ID: "batch", Cores: 64, Duration: 1000, SubmitAt: 0}); err != nil {
-					return err
-				}
-				if err := cl.Submit(interactive.Job{ID: "session", Cores: 8, Duration: 50, SubmitAt: 90, ReservationID: "viz"}); err != nil {
-					return err
-				}
-				traces, err := cl.Run()
-				if err != nil {
-					return err
-				}
-				for _, tr := range traces {
-					if tr.Job.ID == "session" && tr.StartS != 100 {
-						return fmt.Errorf("session started at %v, want 100", tr.StartS)
-					}
-				}
-				return nil
+			Ops: []Op{
+				ClusterReservation{
+					ClusterCores: 64, ReservedCores: 8, Start: 100, End: 200,
+					BatchCores: 64, BatchDuration: 1000,
+					SessionCores: 8, SessionDuration: 50, SubmitAt: 90,
+				},
 			}},
 		{App: "3.2", Tool: "Jupyter Workflow",
 			Desc: "VisIVO importing/filtering/viewing cells compile to a valid DAG",
-			Run: func(ctx context.Context, env *exp.Env) error {
-				nb := &interactive.Notebook{Name: "visivo", Cells: []interactive.Cell{
+			Ops: []Op{
+				NotebookCompile{Name: "visivo", Cells: []NotebookCell{
 					{ID: "import", Code: "import visivo\ndata = visivo.load('cube.fits')"},
 					{ID: "filter", Code: "small = data.decimate()"},
 					{ID: "view", Code: "img = small.render()"},
-				}}
-				wf, err := nb.Compile(interactive.CompileOptions{})
-				if err != nil {
-					return err
-				}
-				order, err := wf.TopoOrder()
-				if err != nil {
-					return err
-				}
-				if order[0] != "import" || order[2] != "view" {
-					return fmt.Errorf("order = %v", order)
-				}
-				return nil
+				}, WantFirst: "import", WantLast: "view"},
 			}},
 		{App: "3.2", Tool: "StreamFlow",
 			Desc: "hybrid placement of the VisIVO workflow across HPC and cloud",
-			Run: func(ctx context.Context, env *exp.Env) error {
-				wf := workflow.New("visivo")
-				wf.MustAdd(workflow.Step{ID: "import", WorkGFlop: 100, OutputBytes: 500e6})
-				wf.MustAdd(workflow.Step{ID: "filter", After: []string{"import"}, WorkGFlop: 3000, Cores: 32, Tier: "hpc", OutputBytes: 100e6})
-				wf.MustAdd(workflow.Step{ID: "view", After: []string{"filter"}, WorkGFlop: 50, Tier: "cloud"})
-				inf := continuum.Testbed()
-				p, err := orchestrator.HEFT{}.Place(wf, inf)
-				if err != nil {
-					return err
-				}
-				_, err = orchestrator.Simulate(wf, inf, p, "heft")
-				return err
+			Ops: []Op{
+				BuildWorkflow{Name: "visivo", Steps: []StepSpec{
+					{ID: "import", GFlop: 100, OutBytes: 500e6},
+					{ID: "filter", After: []string{"import"}, GFlop: 3000, Cores: 32, Tier: "hpc", OutBytes: 100e6},
+					{ID: "view", After: []string{"filter"}, GFlop: 50, Tier: "cloud"},
+				}},
+				Testbed{Preset: "default"},
+				Place{Policy: "heft"},
+				Simulate{},
 			}},
 		{App: "3.2", Tool: "Nethuns",
 			Desc: "fast network path beats the default path for VisIVO's I/O",
-			Run:  fastPathScenario},
+			Ops:  fastPathOps()},
 		{App: "3.2", Tool: "CAPIO",
 			Desc: "filtering output streams into the viewer without code changes",
-			Run:  capioStoreScenario},
+			Ops:  capioStoreOps()},
 
 		// --- 3.3 Genomic variant calling ----------------------------------
 		{App: "3.3", Tool: "StreamFlow",
 			Desc: "the pipeline runs remotely on HPC with fast provisioning (placement honours the pin)",
-			Run: func(ctx context.Context, env *exp.Env) error {
-				wf := workflow.New("variant-calling")
-				wf.MustAdd(workflow.Step{ID: "align", WorkGFlop: 2000, Cores: 16, Tier: "hpc", OutputBytes: 1e9})
-				wf.MustAdd(workflow.Step{ID: "call", After: []string{"align"}, WorkGFlop: 800, Cores: 8, Tier: "hpc"})
-				inf := continuum.Testbed()
-				p, err := orchestrator.DataLocal{}.Place(wf, inf)
-				if err != nil {
-					return err
-				}
-				s, err := orchestrator.Simulate(wf, inf, p, "data-local")
-				if err != nil {
-					return err
-				}
-				for step, nodeID := range s.Placement {
-					n, err := inf.Node(nodeID)
-					if err != nil {
-						return err
-					}
-					if n.Kind != continuum.HPC {
-						return fmt.Errorf("step %s escaped the HPC pin to %s", step, n.Kind)
-					}
-				}
-				return nil
+			Ops: []Op{
+				BuildWorkflow{Name: "variant-calling", Steps: []StepSpec{
+					{ID: "align", GFlop: 2000, Cores: 16, Tier: "hpc", OutBytes: 1e9},
+					{ID: "call", After: []string{"align"}, GFlop: 800, Cores: 8, Tier: "hpc"},
+				}},
+				Testbed{Preset: "default"},
+				Place{Policy: "data-local"},
+				Simulate{},
+				RequireTier{Node: "hpc"},
 			}},
 
 		// --- 3.4 Edge-Cloud federation ------------------------------------
 		{App: "3.4", Tool: "INDIGO",
 			Desc: "dynamic orchestration from a TOSCA-style blueprint",
-			Run:  blueprintScenario},
+			Ops:  blueprintOps()},
 		{App: "3.4", Tool: "Liqo",
 			Desc: "single cluster joins a larger federation and borrows capacity",
-			Run:  federationScenario},
+			Ops:  federationOps()},
 		{App: "3.4", Tool: "MoveQUIC",
 			Desc: "server-side connection migration keeps client connections alive",
-			Run:  migrationScenario},
+			Ops:  migrationOps()},
 
 		// --- 3.5 Serverledge ----------------------------------------------
 		{App: "3.5", Tool: "MoveQUIC",
 			Desc: "live migration of a long-running function pays off when work remains",
-			Run: func(ctx context.Context, env *exp.Env) error {
-				p := faas.NewPlatform(continuum.EdgeCloudTestbed(), faas.EdgeFirst{})
-				if err := p.Deploy(faas.Function{Name: "long", WorkGFlop: 500, Class: faas.Batch, DeadlineS: 100, StateBytes: 10e6}); err != nil {
-					return err
-				}
-				out, err := p.EvaluateMigration(faas.MigrationPlan{Function: "long", FromID: "edge-0", ToID: "cloud-0", RemainingGFlop: 400})
-				if err != nil {
-					return err
-				}
-				if !out.Worthwhile {
-					return errors.New("migration should pay off with 80% work remaining")
-				}
-				return nil
+			Ops: []Op{
+				FaasMigration{WorkGFlop: 500, DeadlineS: 100, StateBytes: 10e6,
+					RemainingGFlop: 400, From: "edge-0", To: "cloud-0"},
 			}},
 		{App: "3.5", Tool: "PESOS",
 			Desc: "energy-efficient FaaS orchestration uses less energy than cloud-only",
-			Run: func(ctx context.Context, env *exp.Env) error {
-				fns := []faas.Function{
-					{Name: "f", WorkGFlop: 1, Class: faas.LowLatency, DeadlineS: 2, StateBytes: 1e6},
-				}
-				trace := faas.PoissonTrace(fns, 10, 30, env.Rng("3.5/PESOS/trace"))
-				results, _, err := faas.CompareSchedulers(fns, trace, continuum.EdgeCloudTestbed,
-					[]faas.Scheduler{faas.EnergyAware{}, faas.CloudOnly{}})
-				if err != nil {
-					return err
-				}
-				if results["energy-aware"].EnergyJ >= results["cloud-only"].EnergyJ {
-					return fmt.Errorf("energy-aware %.0fJ not below cloud-only %.0fJ",
-						results["energy-aware"].EnergyJ, results["cloud-only"].EnergyJ)
-				}
-				return nil
+			Ops: []Op{
+				FaasEnergyRace{WorkGFlop: 1, DeadlineS: 2, StateBytes: 1e6,
+					RatePerS: 10, HorizonS: 30, Stream: "3.5/PESOS/trace"},
 			}},
 
 		// --- 3.6 Galaxy formation I/O --------------------------------------
 		{App: "3.6", Tool: "Nethuns",
 			Desc: "checkpoint output path improved by the fast network abstraction",
-			Run:  fastPathScenario},
+			Ops:  fastPathOps()},
 		{App: "3.6", Tool: "CAPIO",
 			Desc: "FLASH→SYGMA streaming overlap beats staged exchange",
-			Run: func(ctx context.Context, env *exp.Env) error {
-				m := capio.CouplingModel{Chunks: 100, ProduceS: 0.5, TransferS: 0.1, ConsumeS: 0.4}
-				ov, err := m.Overlap()
-				if err != nil {
-					return err
-				}
-				if ov <= 1.3 {
-					return fmt.Errorf("overlap speedup %.2f too small", ov)
-				}
-				return nil
+			Ops: []Op{
+				CouplingOverlap{Chunks: 100, ProduceS: 0.5, TransferS: 0.1, ConsumeS: 0.4, MinSpeedup: 1.3},
 			}},
 
 		// --- 3.7 WorldDynamics ---------------------------------------------
 		{App: "3.7", Tool: "Jupyter Workflow",
 			Desc: "model cells (parameters → run → analyze) compile to a distributed DAG",
-			Run: func(ctx context.Context, env *exp.Env) error {
-				nb := &interactive.Notebook{Name: "worlddyn", Cells: []interactive.Cell{
+			Ops: []Op{
+				NotebookCompile{Name: "worlddyn", Cells: []NotebookCell{
 					{ID: "params", Code: "import worlddynamics\ncfg = worlddynamics.defaults()"},
 					{ID: "run", Code: "traj = cfg.integrate()"},
 					{ID: "analyze", Code: "peak = traj.max()"},
-				}}
-				wf, err := nb.Compile(interactive.CompileOptions{})
-				if err != nil {
-					return err
-				}
-				if wf.Len() != 3 {
-					return fmt.Errorf("steps = %d", wf.Len())
-				}
-				return nil
+				}, WantLen: 3},
 			}},
 		{App: "3.7", Tool: "BDMaaS+",
 			Desc: "parallel what-if simulation of scenarios via policy comparison",
-			Run: func(ctx context.Context, env *exp.Env) error {
-				m := worldmodel.Demo()
-				for _, depl := range []float64{0.001, 0.002, 0.004} {
-					if _, err := m.Run(0, 200, 0.5, map[string]float64{"depletion_rate": depl}); err != nil {
-						return err
-					}
-				}
-				return nil
+			Ops: []Op{
+				WhatIfDepletion{T0: 0, T1: 200, Dt: 0.5, Depletions: []float64{0.001, 0.002, 0.004}},
 			}},
 		{App: "3.7", Tool: "aMLLibrary",
 			Desc: "regression-based model discovery over trajectory data",
-			Run: func(ctx context.Context, env *exp.Env) error {
-				m := worldmodel.Demo()
-				tr, err := m.Run(0, 200, 0.5, nil)
-				if err != nil {
-					return err
-				}
-				var xs [][]float64
-				var ys []float64
-				for i, s := range tr.States {
-					if i%2 == 0 {
-						xs = append(xs, []float64{s["capital"]})
-						ys = append(ys, s["pollution"])
-					}
-				}
-				_, err = divexplorer.SelectModel(xs, ys, divexplorer.DefaultGrid(), 4)
-				return err
+			Ops: []Op{
+				TrajectoryRegression{T0: 0, T1: 200, Dt: 0.5, SampleEvery: 2, Folds: 4},
 			}},
 		{App: "3.7", Tool: "Mingotti et al.",
 			Desc: "virtual PMU supplies fine-grained measurements as a new data source",
-			Run: func(ctx context.Context, env *exp.Env) error {
-				e := &pmu.Estimator{SampleRate: 10000, NominalHz: 50}
-				sig := &pmu.Signal{Amplitude: 325, Frequency: 50.1, Phase: 0}
-				ms, err := e.Run(sig, 8, nil)
-				if err != nil {
-					return err
-				}
-				if len(ms) != 8 {
-					return fmt.Errorf("frames = %d", len(ms))
-				}
-				return nil
+			Ops: []Op{
+				PMUFrames{SampleRate: 10000, NominalHz: 50, Amplitude: 325, Frequency: 50.1, Frames: 8},
 			}},
 
 		// --- 3.8 Cloud-native deployment -----------------------------------
 		{App: "3.8", Tool: "INDIGO",
 			Desc: "TOSCA blueprint → deployment plan enforcement",
-			Run:  blueprintScenario},
+			Ops:  blueprintOps()},
 		{App: "3.8", Tool: "Liqo",
 			Desc: "deployment spans a dynamically created federation",
-			Run:  federationScenario},
+			Ops:  federationOps()},
 		{App: "3.8", Tool: "BDMaaS+",
 			Desc: "what-if placement optimization picks the cheapest viable deployment",
-			Run: func(ctx context.Context, env *exp.Env) error {
-				mkWf := func() *workflow.Workflow {
-					wf := workflow.New("svc")
-					wf.MustAdd(workflow.Step{ID: "api", WorkGFlop: 50, Tier: "cloud", OutputBytes: 10e6})
-					wf.MustAdd(workflow.Step{ID: "batch", After: []string{"api"}, WorkGFlop: 1000, Cores: 8})
-					return wf
-				}
-				schedules, err := orchestrator.Compare(mkWf, continuum.Testbed,
-					[]orchestrator.Policy{orchestrator.CostAware{}, orchestrator.RoundRobin{}})
-				if err != nil {
-					return err
-				}
-				var cost, rr float64
-				for _, s := range schedules {
-					switch s.Policy {
-					case "cost-aware":
-						cost = s.CostEUR
-					case "round-robin":
-						rr = s.CostEUR
-					}
-				}
-				if cost > rr {
-					return fmt.Errorf("cost-aware %.4f€ costlier than round-robin %.4f€", cost, rr)
-				}
-				return nil
+			Ops: []Op{
+				CompareCosts{Name: "svc", Steps: []StepSpec{
+					{ID: "api", GFlop: 50, Tier: "cloud", OutBytes: 10e6},
+					{ID: "batch", After: []string{"api"}, GFlop: 1000, Cores: 8},
+				}, Policies: []string{"cost-aware", "round-robin"}},
 			}},
 
 		// --- 3.9 DivExplorer -----------------------------------------------
 		{App: "3.9", Tool: "ICS",
 			Desc: "subgroup analysis reachable from a booked interactive session",
-			Run: func(ctx context.Context, env *exp.Env) error {
-				cal, err := interactive.NewCalendar(16, 1)
-				if err != nil {
-					return err
-				}
-				if err := cal.Deposit("analyst", 100); err != nil {
-					return err
-				}
-				b, err := cal.Book("analyst", 4, 0, 3600)
-				if err != nil {
-					return err
-				}
-				cl, err := interactive.NewCluster(32)
-				if err != nil {
-					return err
-				}
-				return cl.Reserve(b.ToReservation())
+			Ops: []Op{
+				BookedSession{CalendarCores: 16, Rate: 1, User: "analyst", Credits: 100,
+					Cores: 4, Start: 0, End: 3600, ClusterCores: 32},
 			}},
 		{App: "3.9", Tool: "ParSoDA",
 			Desc: "parallel per-subgroup reduction via the data-analysis pipeline",
-			Run: func(ctx context.Context, env *exp.Env) error {
-				rows := make([]int, 1000)
-				for i := range rows {
-					rows[i] = i
-				}
-				p := bigdata.NewPipeline[int, int](4).
-					Map(func(x int) (int, error) { return x % 10, nil }).
-					GroupBy(func(m int) string { return fmt.Sprint(m) })
-				groups, err := p.Run(ctx, rows)
-				if err != nil {
-					return err
-				}
-				counts, err := bigdata.ReduceGroups(ctx, groups, 4, func(g bigdata.Group[int]) (int, error) {
-					return len(g.Items), nil
-				})
-				if err != nil {
-					return err
-				}
-				if len(counts) != 10 {
-					return fmt.Errorf("subgroups = %d", len(counts))
-				}
-				return nil
+			Ops: []Op{
+				SubgroupReduce{Rows: 1000, Mod: 10, Parallelism: 4},
 			}},
 		{App: "3.9", Tool: "aMLLibrary",
 			Desc: "model comparison and selection for the regression task",
-			Run: func(ctx context.Context, env *exp.Env) error {
-				rng := env.Rng("3.9/aMLLibrary/data")
-				var xs [][]float64
-				var ys []float64
-				for i := 0; i < 120; i++ {
-					x := rng.Float64() * 5
-					xs = append(xs, []float64{x})
-					ys = append(ys, 2*x+1+rng.NormFloat64()*0.01)
-				}
-				m, err := divexplorer.SelectModel(xs, ys, divexplorer.DefaultGrid(), 4)
-				if err != nil {
-					return err
-				}
-				rmse, err := m.RMSE(xs, ys)
-				if err != nil {
-					return err
-				}
-				if rmse > 0.1 {
-					return fmt.Errorf("selected model RMSE %v", rmse)
-				}
-				return nil
+			Ops: []Op{
+				SyntheticRegression{Samples: 120, Scale: 5, Slope: 2, Intercept: 1,
+					Noise: 0.01, MaxRMSE: 0.1, Folds: 4, Stream: "3.9/aMLLibrary/data"},
 			}},
 
 		// --- 3.10 RISC-V compilation flow ------------------------------------
 		{App: "3.10", Tool: "StreamFlow",
 			Desc: "the optimization passes run as an orchestrated workflow",
-			Run: func(ctx context.Context, env *exp.Env) error {
-				m := mlir.AXPY("axpy", 32, 3)
-				passes := []mlir.Pass{mlir.ConstFold{}, mlir.DCE{}, mlir.LowerTensorToLoop{}, mlir.LoopFusion{}, mlir.LowerLoopToRV{}}
-				wf := workflow.New("mlir-pipeline")
-				bodies := map[string]workflow.StepFunc{}
-				prev := ""
-				for i, p := range passes {
-					id := fmt.Sprintf("%02d-%s", i, p.Name())
-					var after []string
-					if prev != "" {
-						after = []string{prev}
-					}
-					wf.MustAdd(workflow.Step{ID: id, After: after})
-					p := p
-					bodies[id] = func(ctx context.Context, deps map[string]any) (any, error) {
-						return nil, p.Run(m)
-					}
-					prev = id
-				}
-				var r workflow.Runner
-				if _, err := r.Run(ctx, wf, bodies); err != nil {
-					return err
-				}
-				return m.Validate()
+			Ops: []Op{
+				MLIRPassWorkflow{Size: 32, A: 3},
 			}},
 		{App: "3.10", Tool: "MLIR",
 			Desc: "progressive lowering to the RISC-V dialect preserves semantics",
-			Run: func(ctx context.Context, env *exp.Env) error {
-				const n = 16
-				inputs := map[string][]float64{"%x": make([]float64, n), "%y": make([]float64, n)}
-				for i := 0; i < n; i++ {
-					inputs["%x"][i] = float64(i)
-					inputs["%y"][i] = 1
-				}
-				hi := mlir.AXPY("axpy", n, 2)
-				want, err := mlir.Interpret(hi, inputs)
-				if err != nil {
-					return err
-				}
-				lo := mlir.AXPY("axpy", n, 2)
-				if err := mlir.DefaultPipeline().Run(lo); err != nil {
-					return err
-				}
-				got, err := mlir.Interpret(lo, inputs)
-				if err != nil {
-					return err
-				}
-				for i := range want {
-					if got[i] != want[i] {
-						return fmt.Errorf("semantics diverged at %d", i)
-					}
-				}
-				return nil
+			Ops: []Op{
+				MLIRLoweringEquivalence{Size: 16, A: 2},
 			}},
 	}
-}
-
-// Shared scenario bodies for tools selected by several applications.
-
-func fastPathScenario(ctx context.Context, env *exp.Env) error {
-	f := netlink.NewFabric()
-	if _, err := f.Attach("app"); err != nil {
-		return err
-	}
-	if _, err := f.Attach("storage"); err != nil {
-		return err
-	}
-	id, err := f.Dial("app", "storage")
-	if err != nil {
-		return err
-	}
-	payload := make([]byte, 64<<10)
-	if err := f.Send(id, payload, netlink.Reliable); err != nil {
-		return err
-	}
-	if err := f.Send(id, payload, netlink.Fast); err != nil {
-		return err
-	}
-	msgs, err := f.Recv("storage")
-	if err != nil {
-		return err
-	}
-	if msgs[1].LatencyS >= msgs[0].LatencyS {
-		return fmt.Errorf("fast path %.6fs not below reliable %.6fs", msgs[1].LatencyS, msgs[0].LatencyS)
-	}
-	return nil
-}
-
-func capioStoreScenario(ctx context.Context, env *exp.Env) error {
-	s := capio.NewStore()
-	w, err := s.Create("pipeline/out.dat")
-	if err != nil {
-		return err
-	}
-	r, err := s.Open("pipeline/out.dat")
-	if err != nil {
-		return err
-	}
-	done := make(chan error, 1)
-	go func() {
-		data, err := r.ReadAll()
-		if err == nil && len(data) != 300 {
-			err = fmt.Errorf("read %d bytes", len(data))
-		}
-		done <- err
-	}()
-	for i := 0; i < 3; i++ {
-		if _, err := w.Write(make([]byte, 100)); err != nil {
-			return err
-		}
-	}
-	if err := w.Close(); err != nil {
-		return err
-	}
-	return <-done
-}
-
-func blueprintScenario(ctx context.Context, env *exp.Env) error {
-	js := `{"name":"svc","components":[
-	  {"name":"front","type":"container","gflop":10,"tier":"cloud"},
-	  {"name":"worker","type":"job","gflop":500,"cores":4,"depends_on":["front"]}]}`
-	bp, err := orchestrator.ParseBlueprint(strings.NewReader(js))
-	if err != nil {
-		return err
-	}
-	wf, err := bp.Compile()
-	if err != nil {
-		return err
-	}
-	pol, err := bp.Policy()
-	if err != nil {
-		return err
-	}
-	inf := continuum.Testbed()
-	p, err := pol.Place(wf, inf)
-	if err != nil {
-		return err
-	}
-	_, err = orchestrator.Simulate(wf, inf, p, pol.Name())
-	return err
-}
-
-func federationScenario(ctx context.Context, env *exp.Env) error {
-	a := orchestrator.NewCluster("local", continuum.EdgeCloudTestbed())
-	b := orchestrator.NewCluster("remote", continuum.Testbed())
-	if err := a.Peer(b, 64); err != nil {
-		return err
-	}
-	grants, err := a.Borrow("remote", 32)
-	if err != nil {
-		return err
-	}
-	return a.Return("remote", grants)
-}
-
-func migrationScenario(ctx context.Context, env *exp.Env) error {
-	f := netlink.NewFabric()
-	for _, ep := range []string{"client", "edge-a", "edge-b"} {
-		if _, err := f.Attach(ep); err != nil {
-			return err
-		}
-	}
-	id, err := f.Dial("client", "edge-a")
-	if err != nil {
-		return err
-	}
-	if err := f.BeginMigration(id); err != nil {
-		return err
-	}
-	if err := f.Send(id, []byte("in-flight"), netlink.Reliable); err != nil {
-		return err
-	}
-	rep, err := f.CompleteMigration(id, "edge-b", 1e6)
-	if err != nil {
-		return err
-	}
-	if rep.FlushedMessages != 1 {
-		return fmt.Errorf("flushed %d messages, want 1", rep.FlushedMessages)
-	}
-	srv, err := f.ServerOf(id)
-	if err != nil {
-		return err
-	}
-	if srv != "edge-b" {
-		return fmt.Errorf("server = %s", srv)
-	}
-	return nil
 }
 
 // ValidateAgainstCatalog checks that the registry covers exactly the

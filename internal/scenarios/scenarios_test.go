@@ -105,8 +105,8 @@ func TestScenarioDescriptions(t *testing.T) {
 		if s.Desc == "" {
 			t.Errorf("scenario %s has no description", s.Key())
 		}
-		if s.Run == nil {
-			t.Errorf("scenario %s has no body", s.Key())
+		if len(s.Ops) == 0 {
+			t.Errorf("scenario %s has no composition", s.Key())
 		}
 	}
 }

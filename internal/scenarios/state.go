@@ -1,0 +1,82 @@
+package scenarios
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/continuum"
+	"repro/internal/orchestrator"
+	"repro/internal/ppc"
+	"repro/internal/workflow"
+)
+
+// State is the substrate threaded through an op composition: each op reads
+// the fields earlier ops produced and writes the ones it is responsible
+// for. A fresh State is created per composition run, so compositions never
+// leak into each other.
+type State struct {
+	// Files is the synthetic input corpus (SynthCorpus → compression,
+	// grouping and windowing ops).
+	Files []ppc.File
+	// Workflow is the DAG under study (BuildWorkflow / NotebookCompile /
+	// Blueprint → placement, simulation and fault ops).
+	Workflow *workflow.Workflow
+	// Infra is the continuum the workflow is placed on (Testbed → Place).
+	Infra *continuum.Infrastructure
+	// Placement maps step IDs to node IDs (Place → Simulate/RequireTier).
+	Placement orchestrator.Placement
+	// Policy is the display name of the policy that produced Placement.
+	Policy string
+	// Schedule is the last simulation outcome (Simulate → assertions).
+	Schedule *orchestrator.Schedule
+
+	obs map[string]float64
+}
+
+// Observe records a named numeric observation. Observations are the
+// generator-facing output of a composition: invariants (conservation,
+// monotonicity) are stated over them, and generated-family artifacts render
+// them in key order.
+func (st *State) Observe(key string, v float64) {
+	if st.obs == nil {
+		st.obs = map[string]float64{}
+	}
+	st.obs[key] = v
+}
+
+// Obs returns the observation recorded under key (0 if absent).
+func (st *State) Obs(key string) float64 { return st.obs[key] }
+
+// HasObs reports whether key was observed.
+func (st *State) HasObs(key string) bool {
+	_, ok := st.obs[key]
+	return ok
+}
+
+// ObsKeys returns the observation keys in sorted order.
+func (st *State) ObsKeys() []string {
+	keys := make([]string, 0, len(st.obs))
+	for k := range st.obs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// needWorkflow returns the state's workflow or a diagnostic naming the op
+// that required it.
+func (st *State) needWorkflow(kind string) (*workflow.Workflow, error) {
+	if st.Workflow == nil {
+		return nil, fmt.Errorf("op %s requires a workflow (compose a workflow op before it)", kind)
+	}
+	return st.Workflow, nil
+}
+
+// infra returns the state's infrastructure, defaulting to the standard
+// testbed so placement ops work in minimal compositions.
+func (st *State) infra() *continuum.Infrastructure {
+	if st.Infra == nil {
+		st.Infra = continuum.Testbed()
+	}
+	return st.Infra
+}

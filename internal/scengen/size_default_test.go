@@ -1,0 +1,10 @@
+//go:build !race
+
+package scengen
+
+// propStride is the sampling stride of the per-configuration property
+// tests: 1 means every configuration of every family (1088 total, the
+// ≥1000 floor of the invariant harness). The race detector multiplies the
+// cost of every configuration run, so the race build samples with a larger
+// stride (size_race_test.go) instead of skipping the harness.
+const propStride = 1

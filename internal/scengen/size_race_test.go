@@ -1,0 +1,8 @@
+//go:build race
+
+package scengen
+
+// propStride under the race detector: every 8th configuration of every
+// family, keeping the instrumented harness interactive while still
+// covering each family and each invariant class.
+const propStride = 8

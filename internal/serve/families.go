@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Family endpoints: the generated scengen configuration families surfaced
+// as first-class resources. GET /families lists them straight from the
+// registry — any experiment named "scengen/<family>" is a family, so the
+// daemon needs no compile-time knowledge of the generator. POST
+// /families/{name} submits the family's sweep through the exact same
+// admission path as POST /experiments — same JobID dedup, same bounded
+// queue — so a family run is an ordinary job whose status, artifacts and
+// runpack flow through the existing endpoints.
+
+// familyPrefix is the registry namespace the family view projects.
+const familyPrefix = "scengen/"
+
+// familyLine describes one generated family in the GET /families answer.
+type familyLine struct {
+	// Name is the family's short name ("faults"); Experiment the full
+	// registry name to poll or submit ("scengen/faults").
+	Name       string `json:"name"`
+	Experiment string `json:"experiment"`
+	Desc       string `json:"desc"`
+	// Size is the number of generated configurations; Shard the memoization
+	// shard width (configurations per cas entry).
+	Size  int `json:"size,omitempty"`
+	Shard int `json:"shard,omitempty"`
+}
+
+type familiesResponse struct {
+	Families []familyLine `json:"families"`
+}
+
+// specInt reads an int-valued spec parameter (0 when absent or not an int).
+func specInt(params map[string]any, key string) int {
+	if n, ok := params[key].(int); ok {
+		return n
+	}
+	return 0
+}
+
+// families projects the registry's scengen experiments into family lines,
+// in registry (sorted-name) order.
+func (s *Server) families() []familyLine {
+	var out []familyLine
+	for _, name := range s.cfg.Registry.Names() {
+		if !strings.HasPrefix(name, familyPrefix) {
+			continue
+		}
+		e, ok := s.cfg.Registry.Get(name)
+		if !ok {
+			continue
+		}
+		out = append(out, familyLine{
+			Name:       strings.TrimPrefix(name, familyPrefix),
+			Experiment: name,
+			Desc:       e.Desc,
+			Size:       specInt(e.Spec.Params, "size"),
+			Shard:      specInt(e.Spec.Params, "shard"),
+		})
+	}
+	return out
+}
+
+func (s *Server) handleFamilies(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, familiesResponse{Families: s.families()})
+}
+
+// familySubmitRequest is the POST /families/{name} body: an optional root
+// seed. An empty body submits under the server's default seed.
+type familySubmitRequest struct {
+	Seed *int64 `json:"seed,omitempty"`
+}
+
+// handleFamilySubmit admits one family sweep: 202 on enqueue, 200 when the
+// (family, seed) pair is already a known job (idempotent dedup via JobID),
+// 400 on malformed JSON, 404 on an unknown family, 429 at a full queue,
+// 503 after Close — the same contract as POST /experiments, because it is
+// the same admission path.
+func (s *Server) handleFamilySubmit(w http.ResponseWriter, r *http.Request) {
+	name := familyPrefix + r.PathValue("name")
+	if _, ok := s.cfg.Registry.Get(name); !ok {
+		writeError(w, http.StatusNotFound, "unknown family %q (GET /families lists them)", r.PathValue("name"))
+		return
+	}
+	var req familySubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "malformed family submit body: %v", err)
+		return
+	}
+	seed := s.cfg.Seed
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	j, code := s.submit(name, seed)
+	switch code {
+	case http.StatusTooManyRequests:
+		writeError(w, code, "admission queue full (%d deep)", s.cfg.QueueDepth)
+	case http.StatusServiceUnavailable:
+		writeError(w, code, "server closed")
+	default:
+		writeJSONBytes(w, code, s.statusBytes(j))
+	}
+}

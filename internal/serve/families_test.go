@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"testing"
+)
+
+func decodeFamilies(t *testing.T, body []byte) familiesResponse {
+	t.Helper()
+	var resp familiesResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("decoding families %q: %v", body, err)
+	}
+	return resp
+}
+
+// GET /families projects exactly the scengen/* experiments, in sorted
+// order, with the generator's size/shard parameters when the spec carries
+// them.
+func TestFamiliesList(t *testing.T) {
+	var executed atomic.Int64
+	reg := synthRegistry(t, &executed, "scengen/beta", "scengen/alpha", "other/exp")
+	sized := synth("scengen/gamma", 4, &executed)
+	sized.Spec.Params["size"] = 1088
+	sized.Spec.Params["shard"] = 64
+	if err := reg.Register(sized); err != nil {
+		t.Fatal(err)
+	}
+	srv := newTestServer(t, Config{Registry: reg})
+
+	w := do(srv, http.MethodGet, "/families", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("families = %d: %s", w.Code, w.Body.String())
+	}
+	resp := decodeFamilies(t, w.Body.Bytes())
+	if len(resp.Families) != 3 {
+		t.Fatalf("families = %+v, want 3", resp.Families)
+	}
+	for i, want := range []string{"alpha", "beta", "gamma"} {
+		if resp.Families[i].Name != want {
+			t.Errorf("family %d = %q, want %q (sorted)", i, resp.Families[i].Name, want)
+		}
+		if resp.Families[i].Experiment != familyPrefix+want {
+			t.Errorf("family %d experiment = %q", i, resp.Families[i].Experiment)
+		}
+		if resp.Families[i].Desc == "" {
+			t.Errorf("family %d has no description", i)
+		}
+	}
+	g := resp.Families[2]
+	if g.Size != 1088 || g.Shard != 64 {
+		t.Errorf("gamma size/shard = %d/%d, want 1088/64", g.Size, g.Shard)
+	}
+}
+
+// POST /families/{name} is the same admission path as POST /experiments:
+// the job completes through the normal lifecycle, its artifacts are served
+// by the existing endpoints, and a submission of the underlying experiment
+// name dedups onto the very same job.
+func TestFamilySubmitLifecycle(t *testing.T) {
+	var executed atomic.Int64
+	srv := newTestServer(t, Config{Registry: synthRegistry(t, &executed, "scengen/alpha"), Seed: 7})
+
+	w := do(srv, http.MethodPost, "/families/alpha", `{"seed":5}`)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("family submit = %d: %s", w.Code, w.Body.String())
+	}
+	st := decodeStatus(t, w)
+	if st.ID != JobID("scengen/alpha", 5) || st.Experiment != "scengen/alpha" {
+		t.Fatalf("family submit status = %+v", st)
+	}
+	srv.Wait()
+
+	if w = do(srv, http.MethodGet, "/experiments/"+st.ID, ""); w.Code != http.StatusOK {
+		t.Fatalf("poll = %d", w.Code)
+	}
+	if final := decodeStatus(t, w); final.State != StateDone {
+		t.Fatalf("final status = %+v", final)
+	}
+	if w = do(srv, http.MethodGet, "/experiments/"+st.ID+"/artifacts/table.csv", ""); w.Code != http.StatusOK {
+		t.Fatalf("artifact fetch = %d", w.Code)
+	}
+
+	// Idempotent dedup, both through the family route and the generic one.
+	if w = do(srv, http.MethodPost, "/families/alpha", `{"seed":5}`); w.Code != http.StatusOK {
+		t.Fatalf("family resubmit = %d", w.Code)
+	}
+	if w = do(srv, http.MethodPost, "/experiments", `{"name":"scengen/alpha","seed":5}`); w.Code != http.StatusOK {
+		t.Fatalf("generic resubmit = %d", w.Code)
+	}
+	if got := decodeStatus(t, w); got.ID != st.ID {
+		t.Fatalf("generic resubmit job %s, want dedup onto %s", got.ID, st.ID)
+	}
+	if got := executed.Load(); got != 1 {
+		t.Fatalf("body executed %d times", got)
+	}
+
+	// An empty body submits under the server's default seed.
+	if w = do(srv, http.MethodPost, "/families/alpha", ""); w.Code != http.StatusAccepted {
+		t.Fatalf("default-seed family submit = %d: %s", w.Code, w.Body.String())
+	}
+	if st := decodeStatus(t, w); st.ID != JobID("scengen/alpha", 7) {
+		t.Fatalf("default-seed job = %+v", st)
+	}
+	srv.Wait()
+}
+
+func TestFamilySubmitErrors(t *testing.T) {
+	srv := newTestServer(t, Config{Registry: synthRegistry(t, nil, "scengen/alpha")})
+	if w := do(srv, http.MethodPost, "/families/nope", `{}`); w.Code != http.StatusNotFound {
+		t.Errorf("unknown family = %d, want 404", w.Code)
+	}
+	for _, body := range []string{`{"seed": nope`, `{"bogus":1}`} {
+		if w := do(srv, http.MethodPost, "/families/alpha", body); w.Code != http.StatusBadRequest {
+			t.Errorf("family submit %q = %d, want 400", body, w.Code)
+		}
+	}
+	// The family namespace is not reachable for non-scengen experiments,
+	// and the list omits them.
+	srv2 := newTestServer(t, Config{Registry: synthRegistry(t, nil, "other/exp")})
+	if w := do(srv2, http.MethodPost, "/families/exp", `{}`); w.Code != http.StatusNotFound {
+		t.Errorf("non-family submit = %d, want 404", w.Code)
+	}
+	if resp := decodeFamilies(t, do(srv2, http.MethodGet, "/families", "").Body.Bytes()); len(resp.Families) != 0 {
+		t.Errorf("families of non-scengen registry = %+v, want none", resp.Families)
+	}
+}

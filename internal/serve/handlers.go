@@ -11,7 +11,7 @@ import (
 
 // endpoints are the instrumented endpoint labels, in route order. Each gets
 // a serve.req.<ep> counter and a serve.latency.<ep> series.
-var endpoints = []string{"submit", "list", "status", "artifact", "runpack", "metrics"}
+var endpoints = []string{"submit", "list", "status", "artifact", "runpack", "families", "family-submit", "metrics"}
 
 // routes wires the Go 1.22 method+wildcard patterns onto the instrumented
 // handlers.
@@ -22,6 +22,8 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /experiments/{id}", s.instrument("status", s.handleStatus))
 	mux.HandleFunc("GET /experiments/{id}/artifacts/{name}", s.instrument("artifact", s.handleArtifact))
 	mux.HandleFunc("GET /experiments/{id}/runpack", s.instrument("runpack", s.handleRunpack))
+	mux.HandleFunc("GET /families", s.instrument("families", s.handleFamilies))
+	mux.HandleFunc("POST /families/{name}", s.instrument("family-submit", s.handleFamilySubmit))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	return mux
 }
